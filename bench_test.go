@@ -1,0 +1,148 @@
+package mage_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench regenerates its experiment at Quick scale and reports simulated
+// fault throughput alongside host time, so `go test -bench=.` both
+// exercises every experiment end-to-end and tracks the harness's own
+// performance.
+//
+// The printed tables (same rows/series as the paper) come from
+// `go run ./cmd/magesim -exp <figN>`; the benches only validate and time.
+
+import (
+	"io"
+	"testing"
+
+	"mage"
+	"mage/internal/experiments"
+	"mage/internal/workload"
+)
+
+// benchScale is Quick() shrunk so each figure regenerates in a few
+// seconds under the bench harness.
+func benchScale() experiments.Scale {
+	sc := experiments.Quick()
+	sc.Threads = 24
+	sc.Offloads = []float64{0.3, 0.7}
+	sc.ThreadSweep = []int{8, 24}
+	sc.GapBS = workload.GapBSParams{Scale: 13, EdgeFactor: 16, Iterations: 1, BytesPerVertex: 16, Seed: 42}
+	sc.XS = workload.XSBenchParams{Gridpoints: 1 << 13, Nuclides: 32, LookupsPerThread: 600, NuclidesPerLookup: 4}
+	sc.Seq = workload.SeqScanParams{Pages: 8 << 10, Iterations: 1, ComputePerPage: 3000}
+	sc.Gups = workload.GUPSParams{Pages: 8 << 10, UpdatesPerThread: 2000, PhaseSplit: 0.5,
+		HotFrac: 0.8, Theta: 0.99, ComputePerUpdate: 250}
+	sc.Metis = workload.MetisParams{InputPages: 4 << 10, IntermediatePages: 3 << 10,
+		OutputPages: 512, EmitsPerInputPage: 1, MapCompute: 900, ReduceCompute: 700}
+	sc.MC = workload.MemcachedParams{Keys: 1 << 15, ValueBytes: 256, Theta: 0.99,
+		GetFraction: 0.998, ComputePerOp: 1500}
+	sc.MicroPagesPerThread = 800
+	sc.MCLoads = []float64{0.3e6, 0.8e6}
+	sc.MCFixedLoad = 0.5e6
+	sc.MCDuration = 10 * mage.Millisecond
+	return sc
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	sc := benchScale()
+	r, err := experiments.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tables := r(sc)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", name)
+		}
+		for _, t := range tables {
+			if len(t.Rows) == 0 {
+				b.Fatalf("%s table %s empty", name, t.ID)
+			}
+			t.Print(io.Discard)
+		}
+	}
+}
+
+// Fig 1: GapBS throughput vs far-memory fraction, all systems.
+func BenchmarkFig1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// Fig 3: ideal-vs-Hermit collapse for GapBS and XSBench.
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// Fig 4: sequential scan with prefetching vs the ideal baseline.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// Fig 5: fault-only vs fault+eviction throughput across thread counts.
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// Fig 6: Hermit/DiLOS fault-handler latency breakdown.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// Fig 7: TLB shootdown and IPI delivery latency vs thread count.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// Fig 9: GapBS + XSBench offload sweeps across all systems.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// Fig 10: sequential scan with and without prefetching.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// Fig 11: GUPS phase-change timeline.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// Fig 12: Metis map/reduce phase throughput.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// Fig 13: memcached p99 vs local memory and vs load.
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// Fig 14: 48-thread seq read at 30% local: p99 + sync evictions.
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// Fig 15: throughput-latency vs raw RDMA.
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+// Fig 16: DiLOS vs MAGE latency breakdowns.
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+
+// Fig 17: cumulative technique ablation.
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+
+// Fig 18: batch-size sweep + low-thread-count regression.
+func BenchmarkFig18(b *testing.B) { benchExperiment(b, "fig18") }
+
+// Table 1: application catalog.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// Table 2: 100% local-memory performance.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// Extension experiments (beyond the paper's figures).
+func BenchmarkExtEvictorSweep(b *testing.B) { benchExperiment(b, "extevict") }
+func BenchmarkExtAccounting(b *testing.B)   { benchExperiment(b, "extacct") }
+func BenchmarkExtBackends(b *testing.B)     { benchExperiment(b, "extbackend") }
+
+// BenchmarkClaims runs the headline-claim self-check.
+func BenchmarkClaims(b *testing.B) { benchExperiment(b, "claims") }
+
+// BenchmarkFaultPathMageLib measures the simulated fault pipeline itself:
+// host ns per simulated major fault on the full Mage^LIB stack.
+func BenchmarkFaultPathMageLib(b *testing.B) {
+	cfg := mage.MageLib(8, 1<<14, 1<<13)
+	cfg.Sockets = 1
+	cfg.CoresPerSocket = 12
+	sys := mage.MustNewSystem(cfg)
+	i := uint64(0)
+	stream := mage.FuncStream(func() (mage.Access, bool) {
+		if i >= uint64(b.N) {
+			return mage.Access{}, false
+		}
+		pg := (i * 7919) % (1 << 14)
+		i++
+		return mage.Access{Page: pg}, true
+	})
+	b.ResetTimer()
+	res := sys.Run([]mage.AccessStream{stream})
+	if res.TotalAccesses() == 0 {
+		b.Fatal("no accesses")
+	}
+}

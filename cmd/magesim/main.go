@@ -1,0 +1,102 @@
+// Command magesim regenerates the paper's evaluation tables and figures
+// on the simulated far-memory testbed.
+//
+// Usage:
+//
+//	magesim -list
+//	magesim -exp fig1
+//	magesim -exp all -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mage/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment to run (figN, table1, table2, extN, or 'all')")
+		scale  = flag.String("scale", "quick", "workload scale: quick|full")
+		list   = flag.Bool("list", false, "list available experiments")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *calibEdge > 0 {
+		calibrate(*calibEdge)
+		return
+	}
+	if *traceOut != "" {
+		if err := runTrace(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "magesim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *list {
+		fmt.Println("available experiments:")
+		for _, n := range experiments.Names() {
+			fmt.Println("  " + n)
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick()
+	case "full":
+		sc = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "magesim: unknown scale %q (quick|full)\n", *scale)
+		os.Exit(2)
+	}
+
+	var names []string
+	if *exp == "all" {
+		names = experiments.Names()
+	} else {
+		names = strings.Split(*exp, ",")
+	}
+	for _, name := range names {
+		r, err := experiments.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "magesim:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		for _, t := range r(sc) {
+			t.Print(os.Stdout)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, t); err != nil {
+					fmt.Fprintln(os.Stderr, "magesim:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+}
+
+// writeCSV writes one table's CSV file into dir.
+func writeCSV(dir string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

@@ -1,0 +1,125 @@
+// Command memnode-bench load-tests a far-memory node daemon over real
+// TCP: it registers a region, then drives concurrent one-sided page reads
+// and writes, reporting throughput and latency percentiles — the
+// network-substrate counterpart of the simulated NIC benchmarks.
+//
+// Usage:
+//
+//	memnode &                                # or: memnode-bench -spawn
+//	memnode-bench -addr 127.0.0.1:7170 -workers 8 -ops 20000 -write-frac 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mage/internal/memnode"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7170", "memory node address")
+		spawn     = flag.Bool("spawn", false, "start an in-process memory node instead of dialing addr")
+		regionMB  = flag.Int64("region-mb", 256, "region size to register (MiB)")
+		workers   = flag.Int("workers", 8, "concurrent client connections")
+		ops       = flag.Int("ops", 20000, "operations per worker")
+		writeFrac = flag.Float64("write-frac", 0.2, "fraction of writes")
+		pageBytes = flag.Int64("page-bytes", 4096, "transfer size")
+		seed      = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	target := *addr
+	if *spawn {
+		srv, err := memnode.NewServer("127.0.0.1:0", (*regionMB+64)<<20)
+		if err != nil {
+			log.Fatalf("memnode-bench: spawn: %v", err)
+		}
+		defer srv.Close()
+		target = srv.Addr()
+		fmt.Println("spawned in-process memory node at", target)
+	}
+
+	setup, err := memnode.Dial(target)
+	if err != nil {
+		log.Fatalf("memnode-bench: %v", err)
+	}
+	defer setup.Close()
+	region, err := setup.Register(*regionMB << 20)
+	if err != nil {
+		log.Fatalf("memnode-bench: register: %v", err)
+	}
+	pages := (*regionMB << 20) / *pageBytes
+
+	type result struct {
+		latencies []time.Duration
+		errs      int
+	}
+	results := make([]result, *workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := memnode.Dial(target)
+			if err != nil {
+				results[w].errs++
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			buf := make([]byte, *pageBytes)
+			rng.Read(buf)
+			lats := make([]time.Duration, 0, *ops)
+			for i := 0; i < *ops; i++ {
+				off := rng.Int63n(pages) * *pageBytes
+				t0 := time.Now()
+				if rng.Float64() < *writeFrac {
+					err = c.Write(region, off, buf)
+				} else {
+					_, err = c.Read(region, off, *pageBytes)
+				}
+				if err != nil {
+					results[w].errs++
+					continue
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			results[w].latencies = lats
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		errs += r.errs
+	}
+	if len(all) == 0 {
+		log.Fatal("memnode-bench: no successful operations")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) time.Duration { return all[int(q*float64(len(all)-1))] }
+	totalBytes := int64(len(all)) * *pageBytes
+
+	fmt.Printf("ops:        %d (%d errors)\n", len(all), errs)
+	fmt.Printf("throughput: %.0f ops/s, %.1f MiB/s\n",
+		float64(len(all))/elapsed.Seconds(),
+		float64(totalBytes)/elapsed.Seconds()/(1<<20))
+	fmt.Printf("latency:    p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50), pct(0.90), pct(0.99), all[len(all)-1])
+
+	if st, err := setup.Stat(); err == nil {
+		fmt.Printf("node stats: %d reads, %d writes, %d B served\n",
+			st.ReadOps, st.WriteOps, st.BytesRead+st.BytesWrite)
+	}
+}

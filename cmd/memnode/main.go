@@ -1,0 +1,39 @@
+// Command memnode runs the far-memory node daemon (§5.2): a passive
+// server that registers memory regions and serves one-sided page reads
+// and writes over TCP.
+//
+// Usage:
+//
+//	memnode -listen :7170 -capacity-mb 4096
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"mage/internal/memnode"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7170", "listen address")
+		capacity = flag.Int64("capacity-mb", 1024, "served memory capacity in MiB")
+	)
+	flag.Parse()
+
+	srv, err := memnode.NewServer(*listen, *capacity<<20)
+	if err != nil {
+		log.Fatalf("memnode: %v", err)
+	}
+	log.Printf("memnode: serving %d MiB on %s", *capacity, srv.Addr())
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	log.Print("memnode: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("memnode: close: %v", err)
+	}
+}

@@ -1,0 +1,247 @@
+package buddy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAllFree(t *testing.T) {
+	a := New(1 << 12)
+	if a.FreeFrames() != 1<<12 {
+		t.Fatalf("FreeFrames = %d", a.FreeFrames())
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewNonPowerOfTwo(t *testing.T) {
+	a := New(1000)
+	if a.FreeFrames() != 1000 {
+		t.Fatalf("FreeFrames = %d", a.FreeFrames())
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// All 1000 frames must be allocatable one at a time.
+	for i := 0; i < 1000; i++ {
+		if _, ok := a.AllocPage(); !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+	}
+	if _, ok := a.AllocPage(); ok {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	a := New(64)
+	f, ok := a.Alloc(3)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if int(f)%8 != 0 {
+		t.Errorf("order-3 block %d misaligned", f)
+	}
+	if a.FreeFrames() != 56 {
+		t.Errorf("FreeFrames = %d, want 56", a.FreeFrames())
+	}
+	a.Free(f)
+	if a.FreeFrames() != 64 {
+		t.Errorf("FreeFrames after free = %d, want 64", a.FreeFrames())
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescingRestoresLargeBlocks(t *testing.T) {
+	a := New(16)
+	var frames []Frame
+	for i := 0; i < 16; i++ {
+		f, ok := a.AllocPage()
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		frames = append(frames, f)
+	}
+	if _, ok := a.Alloc(4); ok {
+		t.Fatal("order-4 alloc should fail when all frames allocated")
+	}
+	for _, f := range frames {
+		a.FreePage(f)
+	}
+	// After freeing everything, a full order-4 block must be available.
+	if _, ok := a.Alloc(4); !ok {
+		t.Fatal("coalescing failed: no order-4 block after freeing all")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New(8)
+	f, _ := a.AllocPage()
+	a.FreePage(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double free")
+		}
+	}()
+	a.FreePage(f)
+}
+
+func TestFreeUnallocatedPanics(t *testing.T) {
+	a := New(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Free(3)
+}
+
+func TestInvalidOrderPanics(t *testing.T) {
+	a := New(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Alloc(MaxOrder + 1)
+}
+
+func TestExhaustionAndRecovery(t *testing.T) {
+	a := New(32)
+	var fs []Frame
+	for {
+		f, ok := a.AllocPage()
+		if !ok {
+			break
+		}
+		fs = append(fs, f)
+	}
+	if len(fs) != 32 || a.FreeFrames() != 0 {
+		t.Fatalf("allocated %d frames, free %d", len(fs), a.FreeFrames())
+	}
+	a.FreePage(fs[0])
+	if f, ok := a.AllocPage(); !ok || f != fs[0] {
+		t.Errorf("recovered alloc = %d,%v; want %d,true", f, ok, fs[0])
+	}
+}
+
+func TestNoDuplicateFramesProperty(t *testing.T) {
+	f := func(seed int64, opsRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(256)
+		ops := int(opsRaw%2000) + 100
+		held := make(map[Frame]int) // frame -> order
+		for i := 0; i < ops; i++ {
+			if rng.Intn(2) == 0 || len(held) == 0 {
+				order := rng.Intn(4)
+				blk, ok := a.Alloc(order)
+				if !ok {
+					continue
+				}
+				// No overlap with held blocks.
+				for h, ho := range held {
+					lo, hi := int(h), int(h)+(1<<ho)
+					blo, bhi := int(blk), int(blk)+(1<<order)
+					if blo < hi && lo < bhi {
+						return false
+					}
+				}
+				held[blk] = order
+			} else {
+				for h := range held {
+					a.Free(h)
+					delete(held, h)
+					break
+				}
+			}
+		}
+		return a.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(512)
+		var held []Frame
+		heldFrames := 0
+		for i := 0; i < 3000; i++ {
+			if rng.Intn(2) == 0 {
+				if f, ok := a.AllocPage(); ok {
+					held = append(held, f)
+					heldFrames++
+				}
+			} else if len(held) > 0 {
+				i := rng.Intn(len(held))
+				a.FreePage(held[i])
+				held[i] = held[len(held)-1]
+				held = held[:len(held)-1]
+				heldFrames--
+			}
+			if a.FreeFrames()+heldFrames != 512 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChurnedAllocatorStaysConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	a := New(1024)
+	var held []Frame
+	for i := 0; i < 50000; i++ {
+		if rng.Intn(5) < 3 {
+			if f, ok := a.AllocPage(); ok {
+				held = append(held, f)
+			}
+		} else if len(held) > 0 {
+			j := rng.Intn(len(held))
+			a.FreePage(held[j])
+			held[j] = held[len(held)-1]
+			held = held[:len(held)-1]
+		}
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllocFreeChurn(b *testing.B) {
+	a := New(1 << 16)
+	var held []Frame
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		if len(held) < 1<<15 || rng.Intn(2) == 0 {
+			if f, ok := a.AllocPage(); ok {
+				held = append(held, f)
+				continue
+			}
+		}
+		if len(held) > 0 {
+			j := rng.Intn(len(held))
+			a.FreePage(held[j])
+			held[j] = held[len(held)-1]
+			held = held[:len(held)-1]
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+
+	"mage/internal/buddy"
+	"mage/internal/lru"
+	"mage/internal/nic"
+	"mage/internal/sim"
+	"mage/internal/swapspace"
+	"mage/internal/tlbsim"
+	"mage/internal/topo"
+	"mage/internal/trace"
+)
+
+// victim is one page mid-eviction.
+type victim struct {
+	page  uint64
+	frame buddy.Frame
+	dirty bool
+	entry swapspace.Entry
+}
+
+// ebatch is one eviction batch moving through the pipeline stages of
+// Fig 8. tlb is the TLB staging buffer (TSB) handle set; rdma is the RDMA
+// staging buffer (RSB) handle.
+type ebatch struct {
+	victims []victim
+	tlb     []*tlbsim.Completion
+	rdma    *nic.Completion
+}
+
+// evictResult summarizes one synchronous eviction round.
+type evictResult struct {
+	evicted int
+	tlbTime sim.Time
+}
+
+// SpawnEvictors launches the configured eviction threads. Ideal-mode
+// systems evict inline at zero cost and spawn none.
+func (s *System) SpawnEvictors() {
+	if s.Cfg.Ideal {
+		return
+	}
+	for j := 0; j < s.Cfg.EvictorThreads; j++ {
+		j := j
+		core := s.Placement.Evictor[j]
+		name := fmt.Sprintf("evictor-%d", j)
+		if s.Cfg.Pipelined {
+			s.Eng.Spawn(name, func(p *sim.Proc) { s.pipelinedEvictor(p, j, core) })
+		} else {
+			s.Eng.Spawn(name, func(p *sim.Proc) { s.batchEvictor(p, j, core) })
+		}
+	}
+}
+
+const evictorPollInterval = 50 * sim.Microsecond
+
+// effectiveBatch bounds the eviction batch so that the frames held in
+// staging (up to three batches per evictor in the pipelined design) stay
+// under an eighth of local memory in total. The paper's TSB/RSB are
+// bounded buffers for the same reason; at realistic memory sizes the
+// bound never binds (3·4·256 pages ≪ an eighth of tens of GB).
+func (s *System) effectiveBatch(configured int) int {
+	limit := s.Cfg.LocalMemPages / (24 * s.Cfg.EvictorThreads)
+	if limit < 1 {
+		limit = 1
+	}
+	if configured > limit {
+		return limit
+	}
+	return configured
+}
+
+// batchEvictor is the traditional sequential eviction loop (Hermit,
+// DiLOS): one batch at a time, each stage completing before the next
+// begins.
+func (s *System) batchEvictor(p *sim.Proc, id int, core topo.CoreID) {
+	for !s.stopped {
+		if !s.underPressure() {
+			s.evictKick.WaitTimeout(p, evictorPollInterval)
+			continue
+		}
+		res := s.evictOnce(p, id, core, s.effectiveBatch(s.Cfg.BatchSize), false)
+		if res.evicted == 0 {
+			// Candidates dry (second chances, races): back off briefly.
+			p.Sleep(5 * sim.Microsecond)
+		}
+	}
+}
+
+// evictOnce runs one complete sequential eviction batch. force bypasses
+// the demand clamp: a synchronously evicting fault-path thread needs a
+// frame immediately even if background evictors have frames in flight.
+func (s *System) evictOnce(p *sim.Proc, id int, core topo.CoreID, batch int, force bool) evictResult {
+	eb := s.scanAndUnmap(p, id, core, batch, force)
+	if eb == nil {
+		return evictResult{}
+	}
+	// EP₂: TLB shootdown, synchronous.
+	t0 := p.Now()
+	for _, c := range s.postShootdowns(p, core, eb) {
+		c.Wait(p)
+	}
+	tlbTime := p.Now() - t0
+
+	// EP₄: write back, synchronous.
+	if c := s.postWriteback(p, eb); c != nil {
+		c.Wait(p)
+	}
+	s.reclaim(p, core, eb)
+	return evictResult{evicted: len(eb.victims), tlbTime: tlbTime}
+}
+
+// pipelinedEvictor implements MAGE's cross-batch pipelined eviction
+// (P2, Fig 8). Three batches are in flight: a new batch being scanned and
+// unmapped, the previous batch waiting on TLB acknowledgements (TSB), and
+// the batch before that waiting on RDMA write completion (RSB). The two
+// wait stages overlap with work on the other batches.
+func (s *System) pipelinedEvictor(p *sim.Proc, id int, core topo.CoreID) {
+	var tsb, rsb *ebatch
+	for {
+		if s.stopped && tsb == nil && rsb == nil {
+			return
+		}
+		pressure := s.underPressure()
+		if !pressure && tsb == nil && rsb == nil {
+			if s.stopped {
+				return
+			}
+			s.evictKick.WaitTimeout(p, evictorPollInterval)
+			continue
+		}
+		// ① Scan the LRU partition and unmap a new batch.
+		var nb *ebatch
+		if pressure && !s.stopped {
+			nb = s.scanAndUnmap(p, id, core, s.effectiveBatch(s.Cfg.BatchSize), false)
+		}
+		if nb == nil && tsb == nil && rsb == nil {
+			p.Sleep(5 * sim.Microsecond)
+			continue
+		}
+		// ③/④ Wait for the TSB batch's TLB flushes to be acknowledged.
+		if tsb != nil {
+			for _, c := range tsb.tlb {
+				c.Wait(p)
+			}
+		}
+		// ② Initiate TLB flushes for the new batch (send cost only).
+		if nb != nil {
+			nb.tlb = s.postShootdowns(p, core, nb)
+		}
+		// ⑥ Wait for the RSB batch's RDMA writes.
+		if rsb != nil && rsb.rdma != nil {
+			rsb.rdma.Wait(p)
+		}
+		// ⑤ Initiate RDMA writes for the TSB batch's dirty pages.
+		if tsb != nil {
+			tsb.rdma = s.postWriteback(p, tsb)
+		}
+		// ⑦ Reclaim the RSB batch's frames.
+		if rsb != nil {
+			s.reclaim(p, core, rsb)
+		}
+		rsb, tsb = tsb, nb
+	}
+}
+
+// scanAndUnmap is EP₁ plus the unmap prelude of EP₂: isolate candidates
+// from the accounting structure, unmap those whose accessed bit allows it,
+// and allocate their remote slots. Returns nil when no page was unmapped.
+// The victim target shrinks to the current eviction deficit so that low
+// demand is served with small batches and the pipeline never over-evicts;
+// like Linux's shrink loop, scanning continues past second-chance
+// rejections (up to a scan budget) until the target is met.
+func (s *System) scanAndUnmap(p *sim.Proc, id int, core topo.CoreID, batch int, force bool) *ebatch {
+	target := batch
+	if need := s.evictionDeficit(); !force && need < target {
+		if need <= 0 {
+			return nil
+		}
+		target = need
+	}
+	scanBudget := 4 * batch
+	eb := &ebatch{}
+	for len(eb.victims) < target && scanBudget > 0 {
+		n := target - len(eb.victims)
+		if n > scanBudget {
+			n = scanBudget
+		}
+		cand := s.Acct.IsolateBatch(p, id, n)
+		if len(cand) == 0 {
+			break
+		}
+		scanBudget -= len(cand)
+		for _, pg := range cand {
+			r := s.AS.TryUnmap(p, pg, s.Cfg.HonorAccessedBit)
+			if !r.OK {
+				// Second chance (or a race): the page stays resident.
+				s.Acct.Requeue(p, core, pg)
+				continue
+			}
+			if s.Cfg.LinuxMM {
+				// rmap walk, swap-cache insert, cgroup uncharge per page.
+				p.Sleep(s.Costs.Rmap + s.Costs.SwapCache + s.Costs.Cgroup)
+			}
+			entry, ok := s.Swap.Alloc(p, pg)
+			if !ok {
+				s.AS.AbortEvict(p, pg)
+				s.Acct.Requeue(p, core, pg)
+				continue
+			}
+			eb.victims = append(eb.victims, victim{page: pg, frame: r.Frame, dirty: r.Dirty, entry: entry})
+		}
+	}
+	if len(eb.victims) == 0 {
+		return nil
+	}
+	s.inflight += len(eb.victims)
+	return eb
+}
+
+// postShootdowns issues the batch's TLB invalidations in chunks of at
+// most Cfg.TLBBatch pages per shootdown (§4.2.1), paying only the send
+// cost; completions are returned for the pipeline to wait on.
+func (s *System) postShootdowns(p *sim.Proc, core topo.CoreID, eb *ebatch) []*tlbsim.Completion {
+	targets := s.shootdownTargets(core)
+	pages := make([]uint64, len(eb.victims))
+	for i, v := range eb.victims {
+		pages[i] = v.page
+	}
+	var out []*tlbsim.Completion
+	for len(pages) > 0 {
+		n := s.Cfg.TLBBatch
+		if n > len(pages) {
+			n = len(pages)
+		}
+		out = append(out, s.Shooter.PostShootdown(p, core, targets, pages[:n]))
+		pages = pages[n:]
+	}
+	return out
+}
+
+// postWriteback issues one RDMA write covering the batch's pages that
+// need their content pushed remotely. With direct mapping, clean pages
+// already have valid remote content and are skipped; with the Linux swap
+// map, the newly allocated slot is empty so every page is written.
+func (s *System) postWriteback(p *sim.Proc, eb *ebatch) *nic.Completion {
+	var pagesToWrite int
+	for _, v := range eb.victims {
+		if v.dirty || s.Cfg.Swap == SwapGlobalMap {
+			pagesToWrite++
+		}
+	}
+	if pagesToWrite == 0 {
+		return nil
+	}
+	return s.NIC.PostWrite(p, int64(pagesToWrite)*nic.PageSize)
+}
+
+// reclaim is the final stage: retire the PTEs, record the remote slots,
+// return the frames to circulation, and wake fault-path waiters.
+func (s *System) reclaim(p *sim.Proc, core topo.CoreID, eb *ebatch) {
+	frames := make([]buddy.Frame, len(eb.victims))
+	ghost, _ := s.Acct.(lru.GhostTracker)
+	for i, v := range eb.victims {
+		s.AS.CompleteEvict(p, v.page)
+		if s.remoteOf != nil {
+			s.remoteOf[v.page] = v.entry
+		}
+		if ghost != nil {
+			ghost.OnEvicted(v.page)
+		}
+		frames[i] = v.frame
+	}
+	s.Alloc.FreeBatch(p, core, frames)
+	s.inflight -= len(eb.victims)
+	s.EvictedPages.Add(uint64(len(eb.victims)))
+	if s.Trace != nil {
+		s.Trace.Instant(fmt.Sprintf("reclaim-%d", len(eb.victims)), "ep",
+			trace.LaneEviction, int(core), int64(p.Now()))
+	}
+	s.freeWait.Broadcast()
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mage/internal/sim"
+)
+
+// Metrics is a point-in-time measurement snapshot of a system.
+type Metrics struct {
+	System string
+
+	MajorFaults  uint64
+	MinorFaults  uint64
+	SyncEvicts   uint64
+	EvictedPages uint64
+	Prefetched   uint64
+	PrefetchDrop uint64
+
+	// Fault latency distribution (ns).
+	FaultMeanNs float64
+	FaultP50Ns  int64
+	FaultP99Ns  int64
+	FaultMaxNs  int64
+
+	// Per-fault latency breakdown (ns/op), keyed by the Comp* labels.
+	BreakdownNs map[string]float64
+
+	// TLB / IPI behaviour (Fig 7).
+	Shootdowns         uint64
+	IPIsSent           uint64
+	ShootdownMeanNs    float64
+	ShootdownP99Ns     int64
+	IPIDeliveryMeanNs  float64
+	IPIDeliveryP99Ns   int64
+	TLBPagesInvalidate uint64
+
+	// Network.
+	RxGbps     float64
+	TxGbps     float64
+	RdmaReads  uint64
+	RdmaWrites uint64
+
+	// Contention (cumulative lock wait, ns).
+	AcctLockWaitNs  int64
+	AllocLockWaitNs int64
+	SwapLockWaitNs  int64
+	PTLockWaitNs    int64
+	FreeWaitNs      int64
+
+	// DedupWaits counts faults absorbed by in-flight fetches.
+	DedupWaits uint64
+}
+
+// Snapshot collects metrics; elapsed is used for rate computations.
+func (s *System) Snapshot(elapsed sim.Time) Metrics {
+	m := Metrics{
+		System:       s.Cfg.Name,
+		MajorFaults:  s.MajorFaults.Value(),
+		MinorFaults:  s.MinorFaults.Value(),
+		SyncEvicts:   s.SyncEvicts.Value(),
+		EvictedPages: s.EvictedPages.Value(),
+		Prefetched:   s.Prefetched.Value(),
+		PrefetchDrop: s.PrefetchDrop.Value(),
+
+		FaultMeanNs: s.FaultLatency.Mean(),
+		FaultP50Ns:  s.FaultLatency.P50(),
+		FaultP99Ns:  s.FaultLatency.P99(),
+		FaultMaxNs:  s.FaultLatency.Max(),
+
+		BreakdownNs: make(map[string]float64),
+
+		Shootdowns:         s.Shooter.Shootdowns.Value(),
+		IPIsSent:           s.Fabric.IPIsSent.Value(),
+		ShootdownMeanNs:    s.Shooter.Latency.Mean(),
+		ShootdownP99Ns:     s.Shooter.Latency.P99(),
+		IPIDeliveryMeanNs:  s.Fabric.DeliveryLatency.Mean(),
+		IPIDeliveryP99Ns:   s.Fabric.DeliveryLatency.P99(),
+		TLBPagesInvalidate: s.Shooter.PagesInvalidated.Value(),
+
+		RxGbps:     s.NIC.RxGbps(elapsed),
+		TxGbps:     s.NIC.TxGbps(elapsed),
+		RdmaReads:  s.NIC.Reads.Value(),
+		RdmaWrites: s.NIC.Writes.Value(),
+
+		AcctLockWaitNs:  s.Acct.LockWaitNs(),
+		AllocLockWaitNs: s.Alloc.LockWaitNs(),
+		SwapLockWaitNs:  s.Swap.LockWaitNs(),
+		PTLockWaitNs:    s.AS.LockWaitNs(),
+		FreeWaitNs:      s.FreeWaitNs,
+
+		DedupWaits: s.AS.DedupWaits.Value(),
+	}
+	for _, c := range s.FaultBreak.Components() {
+		m.BreakdownNs[c] = s.FaultBreak.PerOp(c)
+	}
+	return m
+}
+
+// FaultMops returns major faults per second in millions over elapsed.
+func (m Metrics) FaultMops(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.MajorFaults) / elapsed.Seconds() / 1e6
+}
+
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: faults=%d (minor %d, dedup %d) evicted=%d sync=%d",
+		m.System, m.MajorFaults, m.MinorFaults, m.DedupWaits, m.EvictedPages, m.SyncEvicts)
+	fmt.Fprintf(&b, " fault[mean=%.0fns p99=%dns]", m.FaultMeanNs, m.FaultP99Ns)
+	fmt.Fprintf(&b, " tlb[n=%d mean=%.0fns]", m.Shootdowns, m.ShootdownMeanNs)
+	fmt.Fprintf(&b, " net[rx=%.1f tx=%.1f Gbps]", m.RxGbps, m.TxGbps)
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"mage/internal/sim"
+	"mage/internal/stats"
+)
+
+// Access is one memory reference in an application's access stream.
+type Access struct {
+	Page    uint64
+	Write   bool
+	Compute sim.Time // CPU work attributed to this access
+	// Wait, if non-nil, blocks the thread before the access is issued —
+	// used for BSP phase barriers (Metis) and open-loop request pacing
+	// (Memcached). Pending compute time is flushed first.
+	Wait func(p *sim.Proc)
+	// Skip marks a pure synchronization element: Wait runs but no memory
+	// access is performed.
+	Skip bool
+}
+
+// AccessStream generates a thread's access sequence lazily.
+type AccessStream interface {
+	Next() (Access, bool)
+}
+
+// SliceStream adapts a pre-built slice to AccessStream (tests, tools).
+type SliceStream struct {
+	Accs []Access
+	pos  int
+}
+
+// Next implements AccessStream.
+func (s *SliceStream) Next() (Access, bool) {
+	if s.pos >= len(s.Accs) {
+		return Access{}, false
+	}
+	a := s.Accs[s.pos]
+	s.pos++
+	return a, true
+}
+
+// FuncStream adapts a generator function to AccessStream.
+type FuncStream func() (Access, bool)
+
+// Next implements AccessStream.
+func (f FuncStream) Next() (Access, bool) { return f() }
+
+// ThreadResult is one application thread's outcome.
+type ThreadResult struct {
+	TID        int
+	Accesses   uint64
+	Faults     uint64
+	FinishedAt sim.Time
+}
+
+// RunResult is the outcome of a complete workload execution.
+type RunResult struct {
+	System  string
+	Threads []ThreadResult
+	// Makespan is the finish time of the slowest thread (the quantity the
+	// paper's jobs/hour numbers derive from).
+	Makespan sim.Time
+	// Series samples aggregate access throughput over time when sampling
+	// was enabled (Fig 11).
+	Series *stats.TimeSeries
+	// Metrics is the system's final measurement snapshot.
+	Metrics Metrics
+}
+
+// TotalAccesses sums accesses across threads.
+func (r *RunResult) TotalAccesses() uint64 {
+	var n uint64
+	for _, t := range r.Threads {
+		n += t.Accesses
+	}
+	return n
+}
+
+// TotalFaults sums major faults across threads.
+func (r *RunResult) TotalFaults() uint64 {
+	var n uint64
+	for _, t := range r.Threads {
+		n += t.Faults
+	}
+	return n
+}
+
+// OpsPerSec is aggregate access throughput over the makespan.
+func (r *RunResult) OpsPerSec() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.TotalAccesses()) / r.Makespan.Seconds()
+}
+
+// JobsPerHour converts the makespan to the paper's jobs/hour metric.
+func (r *RunResult) JobsPerHour() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return 3600 / r.Makespan.Seconds()
+}
+
+// RunOptions tunes a workload execution.
+type RunOptions struct {
+	// SampleEvery enables throughput time-series sampling at this period
+	// (0 disables).
+	SampleEvery sim.Time
+	// Deadline aborts the run at this virtual time (0 = none).
+	Deadline sim.Time
+}
+
+// Run executes one AccessStream per application thread to completion and
+// returns the aggregated result. It owns the engine run loop.
+func (s *System) Run(streams []AccessStream) RunResult {
+	return s.RunWithOptions(streams, RunOptions{})
+}
+
+// RunWithOptions is Run with sampling/deadline control.
+func (s *System) RunWithOptions(streams []AccessStream, opts RunOptions) RunResult {
+	if len(streams) == 0 {
+		panic("core: no access streams")
+	}
+	s.SpawnEvictors()
+
+	res := RunResult{
+		System:  s.Cfg.Name,
+		Threads: make([]ThreadResult, len(streams)),
+	}
+	remaining := len(streams)
+	for i, st := range streams {
+		i, st := i, st
+		s.Eng.Spawn(fmt.Sprintf("app-%d", i), func(p *sim.Proc) {
+			t := s.NewThread(p, i)
+			for {
+				a, ok := st.Next()
+				if !ok {
+					break
+				}
+				if a.Wait != nil {
+					t.Flush()
+					a.Wait(p)
+				}
+				if !a.Skip {
+					t.Access(a.Page, a.Write, a.Compute)
+				}
+			}
+			t.Flush()
+			res.Threads[i] = ThreadResult{
+				TID:        i,
+				Accesses:   t.Accesses,
+				Faults:     t.Faults,
+				FinishedAt: p.Now(),
+			}
+			remaining--
+			if remaining == 0 {
+				s.Stop()
+			}
+		})
+	}
+
+	if opts.SampleEvery > 0 {
+		res.Series = &stats.TimeSeries{}
+		s.Eng.Spawn("sampler", func(p *sim.Proc) {
+			var m stats.Meter
+			for !s.stopped {
+				p.Sleep(opts.SampleEvery)
+				rate := m.Rate(int64(p.Now()), s.AccessOps)
+				res.Series.Add(int64(p.Now()), rate)
+			}
+		})
+	}
+
+	if opts.Deadline > 0 {
+		s.Eng.RunUntil(opts.Deadline)
+		if !s.stopped {
+			s.Stop()
+			s.Eng.Stop()
+		}
+	} else {
+		s.Eng.Run()
+	}
+
+	for _, t := range res.Threads {
+		if t.FinishedAt > res.Makespan {
+			res.Makespan = t.FinishedAt
+		}
+	}
+	res.Metrics = s.Snapshot(res.Makespan)
+	return res
+}

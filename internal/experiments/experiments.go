@@ -1,0 +1,248 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each Fig*/Table* function assembles the systems and
+// workloads, runs them on the simulation substrate, and returns printable
+// tables whose rows correspond to the points in the original plot.
+//
+// Absolute numbers come from a scaled-down simulated testbed; the claims
+// to check are the shapes: who wins, by roughly what factor, and where
+// the crossovers fall. See EXPERIMENTS.md for the paper-vs-measured
+// record.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"mage/internal/core"
+	"mage/internal/sim"
+	"mage/internal/workload"
+)
+
+// Table is one printable result table (usually one figure panel).
+type Table struct {
+	ID     string // e.g. "fig1"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteCSV renders the table as RFC-4180 CSV (for plotting scripts).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Scale bundles workload sizes and sweep granularity so the same
+// experiment code runs at test speed or at CLI depth.
+type Scale struct {
+	Threads           int
+	RegressionThreads int
+	Offloads          []float64 // fraction of WSS that is remote
+	ThreadSweep       []int
+
+	GapBS workload.GapBSParams
+	XS    workload.XSBenchParams
+	Seq   workload.SeqScanParams
+	Gups  workload.GUPSParams
+	Metis workload.MetisParams
+	MC    workload.MemcachedParams
+
+	// MicroPagesPerThread sizes the sequential-read microbenchmark.
+	MicroPagesPerThread int
+	// MCLoads is the offered-load sweep for Fig 13b (ops/s).
+	MCLoads []float64
+	// MCFixedLoad is Fig 13a's fixed load (ops/s).
+	MCFixedLoad float64
+	// MCDuration is the open-loop run length.
+	MCDuration sim.Time
+	// Seed is the master seed.
+	Seed int64
+}
+
+// Quick returns a scale suitable for tests and `go test -bench`: every
+// experiment completes in seconds.
+func Quick() Scale {
+	return Scale{
+		Threads:           48,
+		RegressionThreads: 4,
+		Offloads:          []float64{0.1, 0.3, 0.5, 0.9},
+		ThreadSweep:       []int{4, 16, 32, 48},
+
+		GapBS: workload.GapBSParams{Scale: 18, EdgeFactor: 32, Iterations: 2, BytesPerVertex: 16, Seed: 42},
+		XS: workload.XSBenchParams{Gridpoints: 1 << 17, Nuclides: 64,
+			LookupsPerThread: 2000, NuclidesPerLookup: 12},
+		Seq: workload.SeqScanParams{Pages: 20 << 10, Iterations: 2, ComputePerPage: 4000},
+		Gups: workload.GUPSParams{Pages: 16 << 10, UpdatesPerThread: 4000, PhaseSplit: 0.5,
+			HotFrac: 0.8, Theta: 0.99, ComputePerUpdate: 250},
+		Metis: workload.MetisParams{InputPages: 10 << 10, IntermediatePages: 6 << 10,
+			OutputPages: 1 << 10, EmitsPerInputPage: 2, MapCompute: 900, ReduceCompute: 700},
+		MC: workload.MemcachedParams{Keys: 1 << 17, ValueBytes: 256, Theta: 0.99,
+			GetFraction: 0.998, ComputePerOp: 1500},
+
+		MicroPagesPerThread: 1000,
+		MCLoads:             []float64{0.2e6, 0.5e6, 1e6, 1.5e6},
+		MCFixedLoad:         0.8e6,
+		MCDuration:          25 * sim.Millisecond,
+		Seed:                1,
+	}
+}
+
+// Full returns the CLI scale: larger working sets and denser sweeps
+// (minutes, not seconds).
+func Full() Scale {
+	s := Quick()
+	s.Offloads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	s.ThreadSweep = []int{1, 4, 8, 16, 24, 28, 32, 40, 48}
+	s.GapBS = workload.GapBSParams{Scale: 19, EdgeFactor: 32, Iterations: 2, BytesPerVertex: 16, Seed: 42}
+	s.XS = workload.XSBenchParams{Gridpoints: 1 << 18, Nuclides: 64,
+		LookupsPerThread: 4000, NuclidesPerLookup: 12}
+	s.Seq = workload.SeqScanParams{Pages: 64 << 10, Iterations: 2, ComputePerPage: 4000}
+	s.Gups = workload.GUPSParams{Pages: 48 << 10, UpdatesPerThread: 12000, PhaseSplit: 0.5,
+		HotFrac: 0.8, Theta: 0.99, ComputePerUpdate: 250}
+	s.Metis = workload.MetisParams{InputPages: 24 << 10, IntermediatePages: 14 << 10,
+		OutputPages: 2 << 10, EmitsPerInputPage: 2, MapCompute: 900, ReduceCompute: 700}
+	s.MC = workload.MemcachedParams{Keys: 1 << 19, ValueBytes: 256, Theta: 0.99,
+		GetFraction: 0.998, ComputePerOp: 1500}
+	s.MicroPagesPerThread = 5000
+	s.MCLoads = []float64{0.2e6, 0.4e6, 0.8e6, 1.2e6, 1.6e6, 2.0e6}
+	s.MCDuration = 60 * sim.Millisecond
+	return s
+}
+
+// localPagesFor converts an offload fraction into a local DRAM quota.
+// offload 0 gets headroom above the WSS so steady state never evicts.
+func localPagesFor(total uint64, offload float64) int {
+	if offload <= 0 {
+		return int(total) + int(total)/6 + 4096
+	}
+	n := int(float64(total) * (1 - offload))
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// systemNames is the figure ordering of the compared systems.
+var systemNames = []string{"Ideal", "Hermit", "DiLOS", "MageLib", "MageLnx"}
+
+// buildSystem constructs a preset system for a workload at an offload
+// fraction, warm-started like the paper's runs (cold gap spread evenly).
+func buildSystem(name string, threads int, total uint64, offload float64, mutate func(*core.Config)) *core.System {
+	return buildSystemPrepop(name, threads, total, offload, mutate, true)
+}
+
+// buildSystemPrepop is buildSystem with explicit prepopulation mode:
+// spread=false keeps the front of the address space resident (for
+// phase-change workloads whose first phase lives there).
+func buildSystemPrepop(name string, threads int, total uint64, offload float64, mutate func(*core.Config), spread bool) *core.System {
+	s := buildSystemRaw(name, threads, total, offload, mutate)
+	if spread {
+		s.Prepopulate(int(total))
+	} else {
+		s.PrepopulateFront(int(total))
+	}
+	return s
+}
+
+// buildSystemRaw builds the system without warm-starting it.
+func buildSystemRaw(name string, threads int, total uint64, offload float64, mutate func(*core.Config)) *core.System {
+	cfg, err := core.Preset(name, threads, total, localPagesFor(total, offload))
+	if err != nil {
+		panic(err)
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return core.MustNewSystem(cfg)
+}
+
+// zeroFiller is implemented by workloads with runtime-allocated regions
+// that have no initial remote content.
+type zeroFiller interface{ ZeroFillRanges() [][2]uint64 }
+
+// applyZeroFill marks a workload's anonymous regions on the system; must
+// run before prepopulation.
+func applyZeroFill(s *core.System, w workload.Workload) {
+	if zf, ok := w.(zeroFiller); ok {
+		for _, r := range zf.ZeroFillRanges() {
+			s.MarkZeroFill(r[0], r[1])
+		}
+	}
+}
+
+// runStreams executes a workload on a fresh preset system. Anonymous
+// regions are marked zero-fill before the warm start; phase-change
+// workloads (Metis) get front prepopulation so their first phase starts
+// resident.
+func runStreams(name string, threads int, w workload.Workload, offload float64, seed int64, mutate func(*core.Config)) core.RunResult {
+	s := buildSystemRaw(name, threads, w.NumPages(), offload, mutate)
+	applyZeroFill(s, w)
+	if _, front := w.(*workload.Metis); front {
+		s.PrepopulateFront(int(w.NumPages()))
+	} else {
+		s.Prepopulate(int(w.NumPages()))
+	}
+	var streams []core.AccessStream
+	if m, ok := w.(*workload.Metis); ok {
+		streams = m.StreamsOn(s.Eng, threads, seed)
+	} else {
+		streams = w.Streams(threads, seed)
+	}
+	return s.RunWithOptions(streams, core.RunOptions{})
+}
+
+func fmtF(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func fmtF1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func fmtPct(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+func fmtUs(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1e3) }

@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mage/internal/core"
+	"mage/internal/stats"
+	"mage/internal/workload"
+)
+
+// tinySeries wraps sample values into a RunResult at 1 ms spacing.
+func tinySeries(vals []float64) core.RunResult {
+	s := &stats.TimeSeries{}
+	for i, v := range vals {
+		s.Add(int64(i)*1e6, v)
+	}
+	return core.RunResult{Series: s}
+}
+
+// tiny returns a scale small enough for unit tests (seconds total).
+func tiny() Scale {
+	sc := Quick()
+	sc.Threads = 16
+	sc.RegressionThreads = 4
+	sc.Offloads = []float64{0.3, 0.6}
+	sc.ThreadSweep = []int{4, 16}
+	sc.GapBS = workload.GapBSParams{Scale: 12, EdgeFactor: 16, Iterations: 2, BytesPerVertex: 16, Seed: 42}
+	sc.XS = workload.XSBenchParams{Gridpoints: 1 << 12, Nuclides: 16, LookupsPerThread: 400, NuclidesPerLookup: 3}
+	sc.Seq = workload.SeqScanParams{Pages: 6 << 10, Iterations: 1, ComputePerPage: 1500}
+	sc.Gups = workload.GUPSParams{Pages: 6 << 10, UpdatesPerThread: 1500, PhaseSplit: 0.5,
+		HotFrac: 0.8, Theta: 0.99, ComputePerUpdate: 250}
+	sc.Metis = workload.MetisParams{InputPages: 3 << 10, IntermediatePages: 2 << 10,
+		OutputPages: 512, EmitsPerInputPage: 1, MapCompute: 900, ReduceCompute: 700}
+	sc.MC = workload.MemcachedParams{Keys: 1 << 14, ValueBytes: 256, Theta: 0.99,
+		GetFraction: 0.998, ComputePerOp: 1500}
+	sc.MicroPagesPerThread = 600
+	sc.MCLoads = []float64{0.2e6, 0.6e6}
+	sc.MCFixedLoad = 0.4e6
+	sc.MCDuration = 8 * 1e6 // 8 ms
+	return sc
+}
+
+func cell(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tb.Rows[row][col], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"table1", "table2"}
+	names := Names()
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("experiment %s missing from registry", w)
+		}
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Error("Lookup of unknown experiment should fail")
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := &Table{ID: "x", Header: []string{"a", "b"}}
+	tb.AddRow("1", "two, with comma")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"two, with comma\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTablePrintAligned(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.Notes = append(tb.Notes, "n")
+	var buf bytes.Buffer
+	tb.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: t ==", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1ShapeIdealLeadsHermitTrails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tests are slow")
+	}
+	tb := Fig1(tiny())[0]
+	if len(tb.Rows) < 3 {
+		t.Fatalf("fig1 rows = %d", len(tb.Rows))
+	}
+	// Columns: far-mem%, then (j/h, drop) per system in systemNames order.
+	// At the deepest offload row, ideal must outperform Hermit, and MAGE
+	// variants must beat Hermit.
+	last := len(tb.Rows) - 1
+	ideal := cell(t, tb, last, 1)
+	hermit := cell(t, tb, last, 3)
+	magelib := cell(t, tb, last, 7)
+	if ideal <= hermit {
+		t.Errorf("ideal %v <= hermit %v at max offload", ideal, hermit)
+	}
+	if magelib <= hermit {
+		t.Errorf("magelib %v <= hermit %v at max offload", magelib, hermit)
+	}
+	// Drops grow with offload for Hermit.
+	d1 := cell(t, tb, 1, 4)
+	d2 := cell(t, tb, last, 4)
+	if d2 <= d1 {
+		t.Errorf("hermit drop not growing: %v then %v", d1, d2)
+	}
+}
+
+func TestFig5ShapeEvictionHurtsAndMageScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := Fig5(tiny())[0]
+	// For every row, fault-only >= fault+evict (eviction adds cost).
+	for i, r := range tb.Rows {
+		fo := cell(t, tb, i, 2)
+		fe := cell(t, tb, i, 3)
+		if fe > fo*1.15 {
+			t.Errorf("row %v: fault+evict %v exceeds fault-only %v", r, fe, fo)
+		}
+	}
+	// At the top thread count MageLib fault-only beats Hermit.
+	n := len(tb.Rows)
+	hermitFO := cell(t, tb, n-4, 2)
+	mageFO := cell(t, tb, n-2, 2)
+	if mageFO <= hermitFO {
+		t.Errorf("MageLib (%v) should beat Hermit (%v) at max threads", mageFO, hermitFO)
+	}
+}
+
+func TestFig7ShootdownLatencyGrowsWithThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := Fig7(tiny())[0]
+	// Hermit rows: 0 and 2 (threads 4 and 16).
+	lo := cell(t, tb, 0, 2)
+	hi := cell(t, tb, 2, 2)
+	if hi <= lo {
+		t.Errorf("shootdown latency did not grow: %v -> %v", lo, hi)
+	}
+}
+
+func TestFig14MageNeverSyncEvicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := Fig14(tiny())[0]
+	for _, r := range tb.Rows {
+		if strings.HasPrefix(r[0], "Mage") && r[3] != "0" {
+			t.Errorf("%s performed %s sync evictions", r[0], r[3])
+		}
+	}
+	// Hermit must sync evict at 30% local.
+	if tb.Rows[0][3] == "0" {
+		t.Error("Hermit performed no sync evictions at 30% local")
+	}
+}
+
+func TestFig17PipeliningHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// At tiny scale local memory clamps eviction batches to a few pages,
+	// flattening the pipelining advantage into noise; assert a loose
+	// bound and leave the real 1.58x claim to the Quick-scale run
+	// recorded in results/quick.txt.
+	tb := Fig17(tiny())[0] // GapBS panel
+	for i := range tb.Rows {
+		base := cell(t, tb, i, 1)
+		pip := cell(t, tb, i, 2)
+		if pip < 0.7*base {
+			t.Errorf("row %d: pipelined %v far below baseline %v", i, pip, base)
+		}
+	}
+}
+
+func TestFig18BatchSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tabs := Fig18(tiny())
+	if len(tabs) != 2 {
+		t.Fatalf("fig18 tables = %d", len(tabs))
+	}
+	a := tabs[0]
+	if len(a.Rows) != 5 {
+		t.Fatalf("batch sweep rows = %d", len(a.Rows))
+	}
+	// At the tiny test scale local memory clamps every batch to a few
+	// pages, so the batch-size axis is flat and pipelined-vs-sequential
+	// is within noise; assert only a loose bound here. The real claim
+	// (pipelined@128-256 beats the best non-pipelined configuration) is
+	// checked at Quick scale in results/quick.txt (fig18a).
+	best := 0.0
+	for i := range a.Rows {
+		if v := cell(t, a, i, 2); v > best {
+			best = v
+		}
+	}
+	pip256 := cell(t, a, 3, 1)
+	if pip256 < 0.6*best {
+		t.Errorf("pipelined@256 (%v) far below best non-pipelined (%v)", pip256, best)
+	}
+}
+
+func TestFig13LatencyGrowsWithOffloadAndLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tabs := Fig13(tiny())
+	a, b := tabs[0], tabs[1]
+	// Panel a: every row has a positive p99 (growth-vs-offload is too
+	// noisy at 8 ms tiny-scale runs to assert; the Quick-scale run in
+	// results/quick.txt carries that check).
+	for i := range a.Rows {
+		if cell(t, a, i, 2) <= 0 {
+			t.Errorf("row %d: non-positive p99", i)
+		}
+	}
+	// Panel b: p99 grows with load for every system.
+	rowsPerLoad := 4
+	for sysIdx := 0; sysIdx < rowsPerLoad; sysIdx++ {
+		lo := cell(t, b, sysIdx, 2)
+		hi := cell(t, b, len(b.Rows)-rowsPerLoad+sysIdx, 2)
+		if hi < lo*0.8 {
+			t.Errorf("%s p99 fell with load: %v -> %v", b.Rows[sysIdx][1], lo, hi)
+		}
+	}
+}
+
+func TestTable2AllLocalRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := Table2(tiny())[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("table2 rows = %d, want 5 workloads", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r[1] == "0.0" {
+			t.Errorf("%s: Hermit jobs/h is zero", r[0])
+		}
+	}
+}
+
+func TestTable1Complete(t *testing.T) {
+	tb := Table1(Scale{})[0]
+	if len(tb.Rows) != 6 {
+		t.Fatalf("table1 rows = %d", len(tb.Rows))
+	}
+}
+
+func TestLocalPagesFor(t *testing.T) {
+	if got := localPagesFor(1000, 0.5); got != 500 {
+		t.Errorf("localPagesFor(1000, 0.5) = %d", got)
+	}
+	if got := localPagesFor(1000, 0); got <= 1000 {
+		t.Errorf("offload 0 needs headroom: %d", got)
+	}
+	if got := localPagesFor(100, 0.99); got < 64 {
+		t.Errorf("floor violated: %d", got)
+	}
+}
+
+func TestTimelineStats(t *testing.T) {
+	// Synthetic series: steady 100, dip to 5, recover to 90.
+	tb := tinySeries([]float64{100, 100, 100, 100, 5, 5, 40, 90, 90, 90, 90, 90})
+	pre, minPost, rec, stall := timelineStats(tb)
+	if pre < 99 || pre > 101 {
+		t.Errorf("pre = %v", pre)
+	}
+	if minPost != 5 {
+		t.Errorf("minPost = %v", minPost)
+	}
+	if rec < 50 {
+		t.Errorf("recovered = %v", rec)
+	}
+	if stall <= 0 {
+		t.Errorf("stall = %v", stall)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"testing"
+
+	"mage/internal/nic"
+)
+
+func TestExtExperimentsRegistered(t *testing.T) {
+	for _, name := range []string{"extevict", "extacct", "extbackend", "claims"} {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("%s not registered: %v", name, err)
+		}
+	}
+}
+
+func TestClaimsTableStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := Claims(tiny())[0]
+	if len(tb.Rows) < 8 {
+		t.Fatalf("claims rows = %d, want >= 8", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if len(r) != 4 {
+			t.Fatalf("row %v has %d cells", r, len(r))
+		}
+		if r[3] != "PASS" && r[3] != "FAIL" {
+			t.Errorf("verdict %q", r[3])
+		}
+	}
+	// The P1 claim must hold even at tiny scale.
+	for _, r := range tb.Rows {
+		if r[0] == "MAGE never evicts synchronously (P1)" && r[3] != "PASS" {
+			t.Errorf("P1 claim failed at tiny scale: %v", r)
+		}
+	}
+}
+
+func TestBackendCostPresetsDiffer(t *testing.T) {
+	rdma := nic.BackendCosts(nic.BackendRDMA, nic.StackLibOS)
+	nvme := nic.BackendCosts(nic.BackendNVMe, nic.StackLibOS)
+	zswap := nic.BackendCosts(nic.BackendZswap, nic.StackLibOS)
+	if nvme.BaseLatency <= rdma.BaseLatency {
+		t.Error("NVMe should be slower than RDMA")
+	}
+	if nvme.BytesPerNs >= rdma.BytesPerNs {
+		t.Error("NVMe should have less bandwidth than 200Gbps RDMA")
+	}
+	if zswap.StackCost <= rdma.StackCost {
+		t.Error("zswap should pay CPU compression cost")
+	}
+}
+
+func TestExtAccountingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := ExtAccounting(tiny())[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 accounting designs", len(tb.Rows))
+	}
+	// Contention: partitioned and per-cpu-fifo must wait less on their
+	// accounting locks than the global LRU.
+	globalWait := cell(t, tb, 0, 3)
+	partWait := cell(t, tb, 2, 3)
+	fifoWait := cell(t, tb, 3, 3)
+	if partWait > globalWait {
+		t.Errorf("partitioned wait %v > global wait %v", partWait, globalWait)
+	}
+	if fifoWait > globalWait {
+		t.Errorf("fifo wait %v > global wait %v", fifoWait, globalWait)
+	}
+}
+
+func TestExtEvictorSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := ExtEvictors(tiny())[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// 4 evictors must not be slower than 1 (the sweet-spot claim's easy
+	// half; the hard half — 8/16 not helping — is scale-dependent).
+	one := cell(t, tb, 0, 1)
+	four := cell(t, tb, 2, 1)
+	if four < one*0.9 {
+		t.Errorf("4 evictors (%v Mops) slower than 1 (%v)", four, one)
+	}
+}
+
+func TestExtBackendsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := ExtBackends(tiny())[0]
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// On every backend MAGE performs at least as well as Hermit.
+	for i := 0; i < 6; i += 2 {
+		hermit := cell(t, tb, i, 2)
+		magelib := cell(t, tb, i+1, 2)
+		if magelib < hermit {
+			t.Errorf("backend %s: MageLib %v < Hermit %v", tb.Rows[i][0], magelib, hermit)
+		}
+	}
+}

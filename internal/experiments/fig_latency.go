@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mage/internal/core"
+	"mage/internal/workload"
+)
+
+// mcSystem builds a memcached system at the given local-memory fraction.
+// The paper uses 24 threads to stay within one NUMA socket.
+func mcSystem(name string, sc Scale, localFrac float64) (*core.System, *workload.Memcached, int) {
+	threads := 24
+	w := workload.NewMemcached(sc.MC)
+	total := w.NumPages()
+	local := int(float64(total) * localFrac)
+	if localFrac >= 1 {
+		local = int(total) + int(total)/6 + 4096
+	}
+	cfg, err := core.Preset(name, threads, total, local)
+	if err != nil {
+		panic(err)
+	}
+	s := core.MustNewSystem(cfg)
+	s.Prepopulate(int(total))
+	return s, w, threads
+}
+
+// Fig13 reproduces Figure 13: memcached p99 latency (a) vs local-memory
+// ratio at a fixed load, and (b) vs offered load at 50% local memory.
+func Fig13(sc Scale) []*Table {
+	a := &Table{
+		ID:     "fig13a",
+		Title:  fmt.Sprintf("Memcached p99 vs local memory (load %.0f Kops, 24 threads)", sc.MCFixedLoad/1e3),
+		Header: []string{"local%", "system", "p99 µs", "mean µs", "achieved Kops"},
+	}
+	for _, localFrac := range []float64{0.9, 0.7, 0.5, 0.3} {
+		for _, name := range []string{"Hermit", "DiLOS", "MageLib", "MageLnx"} {
+			s, w, threads := mcSystem(name, sc, localFrac)
+			res := w.RunOpenLoop(s, threads, sc.MCFixedLoad, sc.MCDuration, sc.Seed)
+			a.AddRow(fmtPct(localFrac), name, fmtUs(res.P99Ns),
+				fmtF(res.MeanNs/1e3), fmtF1(res.AchievedOps/1e3))
+		}
+	}
+	a.Notes = append(a.Notes,
+		"paper: for a 200µs SLO Mage^LIB offloads 21% more memory than DiLOS and 36% more than Hermit; Mage^LNX reaches ~70-80%")
+
+	b := &Table{
+		ID:     "fig13b",
+		Title:  "Memcached p99 vs offered load (50% local memory, 24 threads)",
+		Header: []string{"load Kops", "system", "p99 µs", "achieved Kops"},
+	}
+	for _, load := range sc.MCLoads {
+		for _, name := range []string{"Hermit", "DiLOS", "MageLib", "MageLnx"} {
+			s, w, threads := mcSystem(name, sc, 0.5)
+			res := w.RunOpenLoop(s, threads, load, sc.MCDuration, sc.Seed)
+			b.AddRow(fmtF1(load/1e3), name, fmtUs(res.P99Ns), fmtF1(res.AchievedOps/1e3))
+		}
+	}
+	b.Notes = append(b.Notes,
+		"paper: MAGE sustains 0.64 Mops more than Hermit and 0.28 Mops more than DiLOS under a 200µs p99 SLO")
+	return []*Table{a, b}
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mage/internal/core"
+	"mage/internal/workload"
+)
+
+// offloadSweep runs one workload across offload fractions on the given
+// systems and tabulates jobs/hour plus the throughput drop relative to
+// each system's own all-local baseline.
+func offloadSweep(id, title string, sc Scale, w func() workload.Workload, systems []string, threads int, mutate func(*core.Config)) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"far-mem%"}, headerPairs(systems)...),
+	}
+	base := map[string]float64{}
+	for _, name := range systems {
+		res := runStreams(name, threads, w(), 0, sc.Seed, mutate)
+		base[name] = res.JobsPerHour()
+	}
+	points := append([]float64{0}, sc.Offloads...)
+	for _, off := range points {
+		row := []string{fmtPct(off)}
+		for _, name := range systems {
+			var jph float64
+			if off == 0 {
+				jph = base[name]
+			} else {
+				res := runStreams(name, threads, w(), off, sc.Seed, mutate)
+				jph = res.JobsPerHour()
+			}
+			drop := 0.0
+			if base[name] > 0 {
+				drop = 1 - jph/base[name]
+			}
+			row = append(row, fmtF1(jph), fmtPct(drop))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d app threads; jobs/h from makespan of the slowest thread; drop%% vs each system's 100%%-local run", threads))
+	return t
+}
+
+func headerPairs(systems []string) []string {
+	var h []string
+	for _, s := range systems {
+		h = append(h, s+" j/h", s+" drop")
+	}
+	return h
+}
+
+// Fig1 reproduces Figure 1: GapBS PageRank throughput as a function of
+// the percentage of far memory, 48 threads, all systems against the
+// ideal baseline.
+func Fig1(sc Scale) []*Table {
+	return []*Table{offloadSweep("fig1",
+		"GapBS PageRank throughput vs far-memory fraction (48 threads)",
+		sc, func() workload.Workload { return workload.NewGapBS(sc.GapBS) },
+		systemNames, sc.Threads, nil)}
+}
+
+// Fig3 reproduces Figure 3: the ideal-vs-Hermit collapse for the two
+// random-access applications.
+func Fig3(sc Scale) []*Table {
+	systems := []string{"Ideal", "Hermit"}
+	return []*Table{
+		offloadSweep("fig3a", "GapBS PageRank: ideal vs Hermit (48 threads)",
+			sc, func() workload.Workload { return workload.NewGapBS(sc.GapBS) },
+			systems, sc.Threads, nil),
+		offloadSweep("fig3b", "XSBench: ideal vs Hermit (48 threads)",
+			sc, func() workload.Workload { return workload.NewXSBench(sc.XS) },
+			systems, sc.Threads, nil),
+	}
+}
+
+// Fig9 reproduces Figure 9: application throughput with varying local
+// memory for GapBS and XSBench across all systems.
+func Fig9(sc Scale) []*Table {
+	return []*Table{
+		offloadSweep("fig9a", "GapBS throughput vs local memory (48 threads)",
+			sc, func() workload.Workload { return workload.NewGapBS(sc.GapBS) },
+			systemNames, sc.Threads, nil),
+		offloadSweep("fig9b", "XSBench throughput vs local memory (48 threads)",
+			sc, func() workload.Workload { return workload.NewXSBench(sc.XS) },
+			systemNames, sc.Threads, nil),
+	}
+}
+
+// Fig4 reproduces Figure 4: sequential scan under Hermit and DiLOS with
+// prefetching, against their shared ideal baseline.
+func Fig4(sc Scale) []*Table {
+	mutate := func(c *core.Config) {
+		if !c.Ideal {
+			c.Prefetch = true
+			c.PrefetchDegree = 16
+		}
+	}
+	return []*Table{offloadSweep("fig4",
+		"Sequential scan (prefetch on): ideal vs Hermit vs DiLOS (48 threads)",
+		sc, func() workload.Workload { return workload.NewSeqScan(sc.Seq) },
+		[]string{"Ideal", "Hermit", "DiLOS"}, sc.Threads, mutate)}
+}
+
+// Fig10 reproduces Figure 10: the sequential scan with and without
+// prefetching across all systems (Mage^LNX lacks prefetch support and is
+// reported without it, as in the paper).
+func Fig10(sc Scale) []*Table {
+	t := &Table{
+		ID:     "fig10",
+		Title:  "Sequential scan: prefetching on/off (48 threads)",
+		Header: []string{"system", "prefetch", "far-mem%", "Mops/s", "faults", "drop"},
+	}
+	w := func() workload.Workload { return workload.NewSeqScan(sc.Seq) }
+	off := 0.1
+	for _, name := range []string{"Ideal", "Hermit", "DiLOS", "MageLib", "MageLnx"} {
+		for _, pf := range []bool{false, true} {
+			if pf && (name == "Ideal" || name == "MageLnx") {
+				continue
+			}
+			pf := pf
+			mutate := func(c *core.Config) {
+				c.Prefetch = pf
+				c.PrefetchDegree = 16
+			}
+			baseRes := runStreams(name, sc.Threads, w(), 0, sc.Seed, mutate)
+			res := runStreams(name, sc.Threads, w(), off, sc.Seed, mutate)
+			drop := 1 - res.JobsPerHour()/baseRes.JobsPerHour()
+			t.AddRow(name, fmt.Sprintf("%v", pf), fmtPct(off),
+				fmtF(res.OpsPerSec()/1e6),
+				fmt.Sprintf("%d", res.Metrics.MajorFaults), fmtPct(drop))
+		}
+	}
+	t.Notes = append(t.Notes, "paper: prefetching cuts Mage^LIB faults ~4x and recovers near-ideal throughput; helps DiLOS little; hurts Hermit")
+	return []*Table{t}
+}
+
+// Fig12 reproduces Figure 12: Metis map/reduce phase throughput vs
+// offloading. The BSP barrier between phases is the working-set shift.
+func Fig12(sc Scale) []*Table {
+	t := &Table{
+		ID:     "fig12",
+		Title:  "Metis map and reduce phase throughput vs far memory (48 threads)",
+		Header: []string{"far-mem%", "system", "map Mops/s", "reduce Mops/s", "switch@ms", "makespan ms"},
+	}
+	for _, off := range []float64{0, 0.1, 0.2} {
+		for _, name := range systemNames {
+			m := workload.NewMetis(sc.Metis)
+			s := buildSystemRaw(name, sc.Threads, m.NumPages(), off, nil)
+			// The intermediate/output regions are runtime allocations
+			// (zero-fill on first touch); the input — the map phase's
+			// working set, laid out first — starts resident. Offloading
+			// therefore displaces what the reduce phase will need: the
+			// paper's phase-change setup.
+			applyZeroFill(s, m)
+			s.PrepopulateFront(int(m.NumPages()))
+			streams := m.StreamsOn(s.Eng, sc.Threads, sc.Seed)
+			res := s.RunWithOptions(streams, core.RunOptions{})
+			switchAt := m.PhaseSwitchAt
+			mapOps := float64(0)
+			redOps := float64(0)
+			// Access counts per phase derive from the params.
+			perThreadMap := float64(sc.Metis.InputPages) / float64(sc.Threads) * float64(1+sc.Metis.EmitsPerInputPage)
+			perThreadRed := float64(sc.Metis.IntermediatePages) / float64(sc.Threads) * 1.125
+			if switchAt > 0 {
+				mapOps = perThreadMap * float64(sc.Threads) / switchAt.Seconds()
+			}
+			if res.Makespan > switchAt {
+				redOps = perThreadRed * float64(sc.Threads) / (res.Makespan - switchAt).Seconds()
+			}
+			t.AddRow(fmtPct(off), name, fmtF(mapOps/1e6), fmtF(redOps/1e6),
+				fmtF1(switchAt.Seconds()*1e3), fmtF1(res.Makespan.Seconds()*1e3))
+		}
+	}
+	t.Notes = append(t.Notes, "paper: after the phase change MAGE loses ~14% while Hermit/DiLOS lose 61%/41%")
+	return []*Table{t}
+}
+
+// Fig11 reproduces Figure 11: the GUPS timeline through its phase change
+// at 85% local memory.
+func Fig11(sc Scale) []*Table {
+	t := &Table{
+		ID:     "fig11",
+		Title:  "GUPS throughput timeline across the phase change (85% local)",
+		Header: []string{"system", "pre-change Mops/s", "post-change min", "recovered Mops/s", "stall ms"},
+	}
+	for _, name := range systemNames {
+		g := workload.NewGUPS(sc.Gups)
+		// Phase 1's region (the first 80% of the WSS) starts resident and
+		// fits within the 85% local quota, so the first phase runs nearly
+		// fault-free — the transition is what gets measured.
+		s := buildSystemPrepop(name, sc.Threads, g.NumPages(), 0.15, nil, false)
+		res := s.RunWithOptions(g.Streams(sc.Threads, sc.Seed),
+			core.RunOptions{SampleEvery: res11SamplePeriod})
+		pre, minPost, rec, stall := timelineStats(res)
+		t.AddRow(name, fmtF(pre/1e6), fmtF(minPost/1e6), fmtF(rec/1e6), fmtF1(stall))
+	}
+	t.Notes = append(t.Notes,
+		"paper: Hermit/DiLOS nearly stall >2s after the change; MAGE dips briefly and recovers")
+	return []*Table{t}
+}
+
+const res11SamplePeriod = 100 * 1000 // 100µs in sim.Time units (ns)
+
+// timelineStats extracts the phase-change signature from the sampled
+// series: steady pre-change rate, the post-change minimum, the recovered
+// rate, and how long throughput stayed below half the pre-change rate.
+func timelineStats(res core.RunResult) (pre, minPost, recovered, stallMs float64) {
+	s := res.Series
+	if s == nil || s.Len() < 4 {
+		return 0, 0, 0, 0
+	}
+	n := s.Len()
+	// Pre-change rate: median of the first third.
+	third := n / 3
+	if third == 0 {
+		third = 1
+	}
+	var sum float64
+	for i := 0; i < third; i++ {
+		sum += s.V[i]
+	}
+	pre = sum / float64(third)
+	// Find the global minimum after the first third.
+	minPost = s.V[third]
+	minIdx := third
+	for i := third; i < n; i++ {
+		if s.V[i] < minPost {
+			minPost = s.V[i]
+			minIdx = i
+		}
+	}
+	// Recovered rate: average of the tail after the minimum.
+	cnt := 0
+	for i := minIdx; i < n; i++ {
+		recovered += s.V[i]
+		cnt++
+	}
+	if cnt > 0 {
+		recovered /= float64(cnt)
+	}
+	// Stall: total time below 50% of pre.
+	for i := 1; i < n; i++ {
+		if s.V[i] < pre/2 {
+			stallMs += float64(s.T[i]-s.T[i-1]) / 1e6
+		}
+	}
+	return pre, minPost, recovered, stallMs
+}

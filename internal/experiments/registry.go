@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one experiment at a given scale.
+type Runner func(Scale) []*Table
+
+// registry maps experiment IDs to their runners.
+var registry = map[string]Runner{
+	"fig1":   Fig1,
+	"fig3":   Fig3,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+	"fig16":  Fig16,
+	"fig17":  Fig17,
+	"fig18":  Fig18,
+	"table1": Table1,
+	"table2": Table2,
+
+	// Extensions beyond the paper's figures.
+	"extevict":   ExtEvictors,
+	"extacct":    ExtAccounting,
+	"extbackend": ExtBackends,
+	"claims":     Claims,
+}
+
+// Names returns all experiment IDs in stable order.
+func Names() []string {
+	var out []string
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the runner for an experiment ID.
+func Lookup(name string) (Runner, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r, nil
+}

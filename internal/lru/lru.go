@@ -1,0 +1,324 @@
+// Package lru implements the page-accounting designs (FP₃/EP₁) the paper
+// compares: the data structure that tracks resident pages and supplies
+// eviction candidates.
+//
+//   - Global: one system-wide list behind one lock — the Linux/OSv design
+//     whose contention grows 9.6–11.4× with thread count (§3.3.2).
+//   - Partitioned: MAGE's per-evictor independent lists; inserts hash by
+//     CPU, evictors scan lists round-robin from staggered start indices
+//     (§4.2.2). Trades global recency accuracy for scalability.
+//   - PerCPUFIFO: Mage^LNX's low-contention FIFO queues, one per CPU
+//     (§5.1). No recency ordering at all.
+//
+// The structures store page numbers only; the second-chance (accessed-bit)
+// check happens in the eviction path against the PTE, and rejected pages
+// come back through Requeue.
+//
+// Invariant (tested): a resident page is in exactly one list or held by
+// exactly one isolating evictor; never duplicated, never lost.
+package lru
+
+import (
+	"mage/internal/sim"
+	"mage/internal/topo"
+)
+
+// Accounting tracks resident pages and yields eviction candidates.
+type Accounting interface {
+	// Insert records a page that just became resident (or was reactivated)
+	// on behalf of core.
+	Insert(p *sim.Proc, core topo.CoreID, page uint64)
+	// InsertRaw is Insert with no simulated cost; used only for zero-time
+	// warm-start population before a run begins.
+	InsertRaw(core topo.CoreID, page uint64)
+	// Requeue returns a page that survived an eviction attempt (second
+	// chance) to the accounting structure.
+	Requeue(p *sim.Proc, core topo.CoreID, page uint64)
+	// IsolateBatch removes up to max eviction candidates for the evictor
+	// with the given index. Returned pages belong to the caller until
+	// evicted or Requeued.
+	IsolateBatch(p *sim.Proc, evictor int, max int) []uint64
+	// Len returns the number of tracked pages.
+	Len() int
+	// Name identifies the design.
+	Name() string
+	// LockWaitNs returns cumulative lock wait across the structure.
+	LockWaitNs() int64
+}
+
+// Costs parameterizes list operations.
+type Costs struct {
+	// InsertHold is the critical-section time of one insert.
+	InsertHold sim.Time
+	// ScanPerPage is the cost per candidate examined during isolation.
+	ScanPerPage sim.Time
+	// IsolateHold is the fixed critical-section time of one batch isolate.
+	IsolateHold sim.Time
+}
+
+// DefaultCosts reflects Linux-like list manipulation costs.
+func DefaultCosts() Costs {
+	return Costs{InsertHold: 90, ScanPerPage: 45, IsolateHold: 150}
+}
+
+// fifo is an amortized O(1) queue of page numbers.
+type fifo struct {
+	buf  []uint64
+	head int
+}
+
+func (q *fifo) len() int { return len(q.buf) - q.head }
+
+func (q *fifo) push(pg uint64) { q.buf = append(q.buf, pg) }
+
+func (q *fifo) pop() (uint64, bool) {
+	if q.head >= len(q.buf) {
+		return 0, false
+	}
+	pg := q.buf[q.head]
+	q.head++
+	if q.head > 4096 && q.head*2 > len(q.buf) {
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+	return pg, true
+}
+
+// Global is the single-list, single-lock design.
+type Global struct {
+	mu    *sim.Mutex
+	q     fifo
+	costs Costs
+}
+
+// NewGlobal returns the global-list design.
+func NewGlobal(eng *sim.Engine, costs Costs) *Global {
+	return &Global{mu: sim.NewMutex(eng, "lru.global"), costs: costs}
+}
+
+func (g *Global) Name() string      { return "global-lru" }
+func (g *Global) Len() int          { return g.q.len() }
+func (g *Global) LockWaitNs() int64 { return g.mu.WaitNs }
+
+func (g *Global) Insert(p *sim.Proc, _ topo.CoreID, page uint64) {
+	g.mu.Lock(p)
+	p.Sleep(g.costs.InsertHold)
+	g.q.push(page)
+	g.mu.Unlock(p)
+}
+
+func (g *Global) Requeue(p *sim.Proc, core topo.CoreID, page uint64) {
+	g.Insert(p, core, page)
+}
+
+// InsertRaw implements Accounting.
+func (g *Global) InsertRaw(_ topo.CoreID, page uint64) { g.q.push(page) }
+
+func (g *Global) IsolateBatch(p *sim.Proc, _ int, max int) []uint64 {
+	g.mu.Lock(p)
+	p.Sleep(g.costs.IsolateHold)
+	var out []uint64
+	for len(out) < max {
+		pg, ok := g.q.pop()
+		if !ok {
+			break
+		}
+		out = append(out, pg)
+	}
+	p.Sleep(sim.Time(len(out)) * g.costs.ScanPerPage)
+	g.mu.Unlock(p)
+	return out
+}
+
+// Partitioned is MAGE's per-evictor-list design.
+type Partitioned struct {
+	mus    []*sim.Mutex
+	qs     []fifo
+	costs  Costs
+	cursor []int // per-evictor round-robin scan position
+	reqRR  int   // round-robin target for requeued (reactivated) pages
+}
+
+// NewPartitioned returns lists independent lists served by up to lists
+// evictors.
+func NewPartitioned(eng *sim.Engine, lists int, costs Costs) *Partitioned {
+	if lists < 1 {
+		lists = 1
+	}
+	pt := &Partitioned{costs: costs, cursor: make([]int, lists)}
+	for i := 0; i < lists; i++ {
+		pt.mus = append(pt.mus, sim.NewMutex(eng, "lru.part"))
+		pt.qs = append(pt.qs, fifo{})
+		// Stagger each evictor's starting list to balance load (§4.2.2).
+		pt.cursor[i] = i
+	}
+	return pt
+}
+
+func (pt *Partitioned) Name() string { return "partitioned-lru" }
+
+func (pt *Partitioned) Len() int {
+	n := 0
+	for i := range pt.qs {
+		n += pt.qs[i].len()
+	}
+	return n
+}
+
+func (pt *Partitioned) LockWaitNs() int64 {
+	var t int64
+	for _, m := range pt.mus {
+		t += m.WaitNs
+	}
+	return t
+}
+
+// listFor hashes the inserting CPU to a list (CPU-ID modulo list count).
+func (pt *Partitioned) listFor(core topo.CoreID) int {
+	return int(core) % len(pt.qs)
+}
+
+func (pt *Partitioned) Insert(p *sim.Proc, core topo.CoreID, page uint64) {
+	i := pt.listFor(core)
+	pt.mus[i].Lock(p)
+	p.Sleep(pt.costs.InsertHold)
+	pt.qs[i].push(page)
+	pt.mus[i].Unlock(p)
+}
+
+// Requeue distributes reactivated pages round-robin over the partitions
+// rather than hashing by the evictor's CPU: second-chance survivors are
+// hot, and spreading them restores the full aggregate list length of
+// protection before the next scan reaches them.
+func (pt *Partitioned) Requeue(p *sim.Proc, _ topo.CoreID, page uint64) {
+	i := pt.reqRR % len(pt.qs)
+	pt.reqRR++
+	pt.mus[i].Lock(p)
+	p.Sleep(pt.costs.InsertHold)
+	pt.qs[i].push(page)
+	pt.mus[i].Unlock(p)
+}
+
+// InsertRaw implements Accounting.
+func (pt *Partitioned) InsertRaw(core topo.CoreID, page uint64) {
+	pt.qs[pt.listFor(core)].push(page)
+}
+
+// IsolateBatch scans from the evictor's cursor, moving to the next list
+// when the current one is empty, wrapping at most once around.
+func (pt *Partitioned) IsolateBatch(p *sim.Proc, evictor int, max int) []uint64 {
+	if evictor < 0 {
+		evictor = 0
+	}
+	cur := &pt.cursor[evictor%len(pt.cursor)]
+	var out []uint64
+	for tries := 0; tries < len(pt.qs) && len(out) < max; tries++ {
+		i := *cur % len(pt.qs)
+		*cur = (*cur + 1) % len(pt.qs)
+		if pt.qs[i].len() == 0 {
+			continue
+		}
+		pt.mus[i].Lock(p)
+		p.Sleep(pt.costs.IsolateHold)
+		taken := 0
+		for len(out) < max {
+			pg, ok := pt.qs[i].pop()
+			if !ok {
+				break
+			}
+			out = append(out, pg)
+			taken++
+		}
+		p.Sleep(sim.Time(taken) * pt.costs.ScanPerPage)
+		pt.mus[i].Unlock(p)
+	}
+	return out
+}
+
+// PerCPUFIFO is Mage^LNX's design: one FIFO per CPU, evictors drain them
+// round-robin.
+type PerCPUFIFO struct {
+	mus    []*sim.Mutex
+	qs     []fifo
+	costs  Costs
+	cursor []int
+}
+
+// NewPerCPUFIFO returns one queue per core, scanned by up to evictors
+// evictor threads.
+func NewPerCPUFIFO(eng *sim.Engine, machine *topo.Machine, evictors int, costs Costs) *PerCPUFIFO {
+	if evictors < 1 {
+		evictors = 1
+	}
+	f := &PerCPUFIFO{costs: costs, cursor: make([]int, evictors)}
+	n := machine.NumCores()
+	for i := 0; i < n; i++ {
+		f.mus = append(f.mus, sim.NewMutex(eng, "lru.fifo"))
+		f.qs = append(f.qs, fifo{})
+	}
+	for e := range f.cursor {
+		f.cursor[e] = (e * n) / evictors
+	}
+	return f
+}
+
+func (f *PerCPUFIFO) Name() string { return "per-cpu-fifo" }
+
+func (f *PerCPUFIFO) Len() int {
+	n := 0
+	for i := range f.qs {
+		n += f.qs[i].len()
+	}
+	return n
+}
+
+func (f *PerCPUFIFO) LockWaitNs() int64 {
+	var t int64
+	for _, m := range f.mus {
+		t += m.WaitNs
+	}
+	return t
+}
+
+func (f *PerCPUFIFO) Insert(p *sim.Proc, core topo.CoreID, page uint64) {
+	i := int(core) % len(f.qs)
+	f.mus[i].Lock(p)
+	p.Sleep(f.costs.InsertHold)
+	f.qs[i].push(page)
+	f.mus[i].Unlock(p)
+}
+
+func (f *PerCPUFIFO) Requeue(p *sim.Proc, core topo.CoreID, page uint64) {
+	f.Insert(p, core, page)
+}
+
+// InsertRaw implements Accounting.
+func (f *PerCPUFIFO) InsertRaw(core topo.CoreID, page uint64) {
+	f.qs[int(core)%len(f.qs)].push(page)
+}
+
+func (f *PerCPUFIFO) IsolateBatch(p *sim.Proc, evictor int, max int) []uint64 {
+	cur := &f.cursor[evictor%len(f.cursor)]
+	var out []uint64
+	for tries := 0; tries < len(f.qs) && len(out) < max; tries++ {
+		i := *cur % len(f.qs)
+		*cur = (*cur + 1) % len(f.qs)
+		if f.qs[i].len() == 0 {
+			continue
+		}
+		f.mus[i].Lock(p)
+		p.Sleep(f.costs.IsolateHold)
+		taken := 0
+		for len(out) < max {
+			pg, ok := f.qs[i].pop()
+			if !ok {
+				break
+			}
+			out = append(out, pg)
+			taken++
+		}
+		p.Sleep(sim.Time(taken) * f.costs.ScanPerPage)
+		f.mus[i].Unlock(p)
+	}
+	return out
+}

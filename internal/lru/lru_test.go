@@ -1,0 +1,251 @@
+package lru
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mage/internal/sim"
+	"mage/internal/topo"
+)
+
+func designs(eng *sim.Engine) []Accounting {
+	m := topo.NewMachine(2, 4)
+	return []Accounting{
+		NewGlobal(eng, DefaultCosts()),
+		NewPartitioned(eng, 4, DefaultCosts()),
+		NewPerCPUFIFO(eng, m, 4, DefaultCosts()),
+	}
+}
+
+func TestInsertIsolateRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	for _, a := range designs(eng) {
+		a := a
+		eng.Spawn("t-"+a.Name(), func(p *sim.Proc) {
+			for pg := uint64(0); pg < 100; pg++ {
+				a.Insert(p, topo.CoreID(pg%8), pg)
+			}
+			if a.Len() != 100 {
+				t.Errorf("%s: Len = %d, want 100", a.Name(), a.Len())
+			}
+			seen := map[uint64]bool{}
+			total := 0
+			for e := 0; e < 4; e++ {
+				for {
+					batch := a.IsolateBatch(p, e, 16)
+					if len(batch) == 0 {
+						break
+					}
+					for _, pg := range batch {
+						if seen[pg] {
+							t.Errorf("%s: page %d isolated twice", a.Name(), pg)
+						}
+						seen[pg] = true
+						total++
+					}
+				}
+			}
+			if total != 100 {
+				t.Errorf("%s: isolated %d pages, want 100", a.Name(), total)
+			}
+			if a.Len() != 0 {
+				t.Errorf("%s: Len = %d after draining", a.Name(), a.Len())
+			}
+		})
+	}
+	eng.Run()
+}
+
+func TestGlobalFIFOOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	g := NewGlobal(eng, DefaultCosts())
+	eng.Spawn("t", func(p *sim.Proc) {
+		for pg := uint64(0); pg < 10; pg++ {
+			g.Insert(p, 0, pg)
+		}
+		batch := g.IsolateBatch(p, 0, 5)
+		for i, pg := range batch {
+			if pg != uint64(i) {
+				t.Errorf("batch[%d] = %d, want %d (FIFO)", i, pg, i)
+			}
+		}
+	})
+	eng.Run()
+}
+
+func TestRequeueGoesToTail(t *testing.T) {
+	eng := sim.NewEngine()
+	g := NewGlobal(eng, DefaultCosts())
+	eng.Spawn("t", func(p *sim.Proc) {
+		g.Insert(p, 0, 1)
+		g.Insert(p, 0, 2)
+		b := g.IsolateBatch(p, 0, 1) // page 1
+		g.Requeue(p, 0, b[0])
+		rest := g.IsolateBatch(p, 0, 10)
+		if len(rest) != 2 || rest[0] != 2 || rest[1] != 1 {
+			t.Errorf("after requeue: %v, want [2 1]", rest)
+		}
+	})
+	eng.Run()
+}
+
+func TestPartitionedInsertHashesByCore(t *testing.T) {
+	eng := sim.NewEngine()
+	pt := NewPartitioned(eng, 4, DefaultCosts())
+	eng.Spawn("t", func(p *sim.Proc) {
+		// Core 1 and core 5 hash to the same of the 4 lists.
+		pt.Insert(p, 1, 100)
+		pt.Insert(p, 5, 101)
+		pt.Insert(p, 2, 102)
+		if pt.qs[1].len() != 2 {
+			t.Errorf("list 1 has %d pages, want 2", pt.qs[1].len())
+		}
+		if pt.qs[2].len() != 1 {
+			t.Errorf("list 2 has %d pages, want 1", pt.qs[2].len())
+		}
+	})
+	eng.Run()
+}
+
+func TestPartitionedEvictorsStartStaggered(t *testing.T) {
+	eng := sim.NewEngine()
+	pt := NewPartitioned(eng, 4, DefaultCosts())
+	eng.Spawn("t", func(p *sim.Proc) {
+		// One page per list (cores 0..3 map to lists 0..3).
+		for c := 0; c < 4; c++ {
+			pt.Insert(p, topo.CoreID(c), uint64(c))
+		}
+		// Evictor e starts at list e.
+		for e := 0; e < 4; e++ {
+			b := pt.IsolateBatch(p, e, 1)
+			if len(b) != 1 || b[0] != uint64(e) {
+				t.Errorf("evictor %d isolated %v, want [%d]", e, b, e)
+			}
+		}
+	})
+	eng.Run()
+}
+
+func TestPartitionedSkipsEmptyLists(t *testing.T) {
+	eng := sim.NewEngine()
+	pt := NewPartitioned(eng, 4, DefaultCosts())
+	eng.Spawn("t", func(p *sim.Proc) {
+		pt.Insert(p, 3, 42) // only list 3 non-empty
+		b := pt.IsolateBatch(p, 0, 8)
+		if len(b) != 1 || b[0] != 42 {
+			t.Errorf("isolate = %v, want [42]", b)
+		}
+	})
+	eng.Run()
+}
+
+func TestNoPageLostOrDuplicatedProperty(t *testing.T) {
+	// Random interleavings of insert/isolate/requeue across all designs:
+	// every inserted page is eventually isolated exactly once.
+	for trial := 0; trial < 5; trial++ {
+		eng := sim.NewEngine()
+		for _, a := range designs(eng) {
+			a := a
+			trial := trial
+			eng.Spawn("t-"+a.Name(), func(p *sim.Proc) {
+				rng := rand.New(rand.NewSource(int64(trial)))
+				inserted := map[uint64]bool{}
+				finalized := map[uint64]bool{}
+				var held []uint64
+				next := uint64(0)
+				for op := 0; op < 1000; op++ {
+					switch rng.Intn(4) {
+					case 0, 1:
+						a.Insert(p, topo.CoreID(rng.Intn(8)), next)
+						inserted[next] = true
+						next++
+					case 2:
+						held = append(held, a.IsolateBatch(p, rng.Intn(4), 8)...)
+					case 3:
+						for _, pg := range held {
+							if rng.Intn(3) == 0 {
+								a.Requeue(p, topo.CoreID(rng.Intn(8)), pg)
+							} else {
+								if finalized[pg] {
+									t.Errorf("%s: page %d finalized twice", a.Name(), pg)
+								}
+								finalized[pg] = true
+							}
+						}
+						held = held[:0]
+					}
+				}
+				// Drain everything.
+				for e := 0; e < 4; e++ {
+					for {
+						b := a.IsolateBatch(p, e, 64)
+						if len(b) == 0 {
+							break
+						}
+						for _, pg := range b {
+							if finalized[pg] {
+								t.Errorf("%s: page %d isolated after finalize", a.Name(), pg)
+							}
+							finalized[pg] = true
+						}
+					}
+				}
+				for _, pg := range held {
+					finalized[pg] = true
+				}
+				if len(finalized) != len(inserted) {
+					t.Errorf("%s: inserted %d pages, finalized %d",
+						a.Name(), len(inserted), len(finalized))
+				}
+			})
+		}
+		eng.Run()
+	}
+}
+
+func TestPartitionedLessContendedThanGlobal(t *testing.T) {
+	run := func(mk func(*sim.Engine) Accounting) int64 {
+		eng := sim.NewEngine()
+		a := mk(eng)
+		// 32 inserters + 4 evictors hammering the structure.
+		for i := 0; i < 32; i++ {
+			i := i
+			eng.Spawn(fmt.Sprintf("ins%d", i), func(p *sim.Proc) {
+				for k := 0; k < 200; k++ {
+					a.Insert(p, topo.CoreID(i%8), uint64(i*1000+k))
+					p.Sleep(50)
+				}
+			})
+		}
+		for e := 0; e < 4; e++ {
+			e := e
+			eng.Spawn(fmt.Sprintf("ev%d", e), func(p *sim.Proc) {
+				for k := 0; k < 100; k++ {
+					a.IsolateBatch(p, e, 16)
+					p.Sleep(200)
+				}
+			})
+		}
+		eng.Run()
+		return a.LockWaitNs()
+	}
+	global := run(func(e *sim.Engine) Accounting { return NewGlobal(e, DefaultCosts()) })
+	part := run(func(e *sim.Engine) Accounting { return NewPartitioned(e, 4, DefaultCosts()) })
+	if part >= global {
+		t.Errorf("partitioned wait (%d) should be below global wait (%d)", part, global)
+	}
+}
+
+func TestFIFOQueueCompaction(t *testing.T) {
+	var q fifo
+	for i := uint64(0); i < 20000; i++ {
+		q.push(i)
+		if got, ok := q.pop(); !ok || got != i {
+			t.Fatalf("pop = %d,%v, want %d", got, ok, i)
+		}
+	}
+	if len(q.buf) > 8192 {
+		t.Errorf("fifo buffer grew to %d; compaction failed", len(q.buf))
+	}
+}

@@ -1,0 +1,99 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+
+	"mage/internal/sim"
+)
+
+func TestTwoListInsertGoesInactive(t *testing.T) {
+	eng := sim.NewEngine()
+	tl := NewTwoList(eng, DefaultCosts())
+	eng.Spawn("t", func(p *sim.Proc) {
+		tl.Insert(p, 0, 1)
+		tl.Insert(p, 0, 2)
+		if tl.inactive.len() != 2 || tl.active.len() != 0 {
+			t.Errorf("inactive=%d active=%d", tl.inactive.len(), tl.active.len())
+		}
+		b := tl.IsolateBatch(p, 0, 2)
+		if len(b) != 2 || b[0] != 1 {
+			t.Errorf("isolate = %v", b)
+		}
+	})
+	eng.Run()
+}
+
+func TestTwoListRequeuePromotes(t *testing.T) {
+	eng := sim.NewEngine()
+	tl := NewTwoList(eng, DefaultCosts())
+	eng.Spawn("t", func(p *sim.Proc) {
+		tl.Insert(p, 0, 7)
+		tl.IsolateBatch(p, 0, 1)
+		tl.Requeue(p, 0, 7)
+		if tl.active.len() != 1 {
+			t.Error("requeued page not in active list")
+		}
+		if tl.Promotions != 1 {
+			t.Errorf("Promotions = %d", tl.Promotions)
+		}
+		// Isolation demotes it back when inactive runs dry.
+		b := tl.IsolateBatch(p, 0, 1)
+		if len(b) != 1 || b[0] != 7 {
+			t.Errorf("demotion-refill isolate = %v", b)
+		}
+		if tl.Demotions != 1 {
+			t.Errorf("Demotions = %d", tl.Demotions)
+		}
+	})
+	eng.Run()
+}
+
+func TestTwoListNoPageLostProperty(t *testing.T) {
+	eng := sim.NewEngine()
+	tl := NewTwoList(eng, DefaultCosts())
+	eng.Spawn("t", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(17))
+		resident := map[uint64]bool{}
+		next := uint64(0)
+		for op := 0; op < 3000; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				tl.Insert(p, 0, next)
+				resident[next] = true
+				next++
+			case 1:
+				for _, pg := range tl.IsolateBatch(p, 0, 4) {
+					if !resident[pg] {
+						t.Fatalf("isolated unknown page %d", pg)
+					}
+					if rng.Intn(3) == 0 {
+						tl.Requeue(p, 0, pg)
+					} else {
+						delete(resident, pg)
+					}
+				}
+			case 2:
+				if tl.Len() != len(resident) {
+					t.Fatalf("Len=%d tracked=%d", tl.Len(), len(resident))
+				}
+			}
+		}
+		for {
+			b := tl.IsolateBatch(p, 0, 64)
+			if len(b) == 0 {
+				break
+			}
+			for _, pg := range b {
+				if !resident[pg] {
+					t.Fatalf("drained unknown page %d", pg)
+				}
+				delete(resident, pg)
+			}
+		}
+		if len(resident) != 0 {
+			t.Errorf("%d pages lost", len(resident))
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,391 @@
+// Package memnode implements the far-memory node of §5.2 as a real
+// network service: a daemon that accepts region-registration requests and
+// serves one-sided page reads and writes, plus the matching client.
+//
+// On the paper's testbed this role is played by a passive VM whose memory
+// is registered with an RDMA NIC; here the transport is TCP (the only
+// fabric available to a pure-Go artifact), but the protocol mirrors the
+// verbs the paging systems need: REGISTER (memory-region setup), READ and
+// WRITE at arbitrary offsets, and STAT for monitoring. Region storage is
+// allocated in 2 MiB chunks, mirroring the HugeTLB backing the paper uses
+// to keep page-table walks cheap on the memory node.
+//
+// The wire protocol is length-prefixed binary, little-endian:
+//
+//	request:  op(1) regionID(8) offset(8) length(8) payload(length, WRITE only)
+//	response: status(1) length(8) payload(length)
+package memnode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Opcodes.
+const (
+	opRegister = 1
+	opRead     = 2
+	opWrite    = 3
+	opStat     = 4
+)
+
+// Status codes.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// ChunkBytes is the backing allocation granularity (a 2 MiB huge page).
+const ChunkBytes = 2 << 20
+
+// MaxIO bounds a single READ/WRITE payload.
+const MaxIO = 8 << 20
+
+// Server is the far-memory node daemon.
+type Server struct {
+	ln       net.Listener
+	mu       sync.Mutex
+	regions  map[uint64][][]byte // regionID -> chunks
+	sizes    map[uint64]int64
+	nextID   uint64
+	capacity int64
+	used     int64
+
+	// Stats (atomic; served by STAT).
+	ReadOps    atomic.Uint64
+	WriteOps   atomic.Uint64
+	BytesRead  atomic.Uint64
+	BytesWrite atomic.Uint64
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") with a total capacity in
+// bytes.
+func NewServer(addr string, capacity int64) (*Server, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("memnode: invalid capacity %d", capacity)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("memnode: listen: %w", err)
+	}
+	s := &Server{
+		ln:       ln,
+		regions:  make(map[uint64][][]byte),
+		sizes:    make(map[uint64]int64),
+		nextID:   1,
+		capacity: capacity,
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	hdr := make([]byte, 25)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		op := hdr[0]
+		regionID := binary.LittleEndian.Uint64(hdr[1:9])
+		offset := int64(binary.LittleEndian.Uint64(hdr[9:17]))
+		length := int64(binary.LittleEndian.Uint64(hdr[17:25]))
+
+		var err error
+		switch op {
+		case opRegister:
+			err = s.handleRegister(conn, length)
+		case opRead:
+			err = s.handleRead(conn, regionID, offset, length)
+		case opWrite:
+			err = s.handleWrite(conn, regionID, offset, length)
+		case opStat:
+			err = s.handleStat(conn)
+		default:
+			err = respondErr(conn, fmt.Sprintf("bad opcode %d", op))
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func respond(conn net.Conn, payload []byte) error {
+	hdr := make([]byte, 9)
+	hdr[0] = statusOK
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(payload)))
+	if _, err := conn.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		_, err := conn.Write(payload)
+		return err
+	}
+	return nil
+}
+
+func respondErr(conn net.Conn, msg string) error {
+	hdr := make([]byte, 9)
+	hdr[0] = statusErr
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(msg)))
+	if _, err := conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err := conn.Write([]byte(msg))
+	return err
+}
+
+func (s *Server) handleRegister(conn net.Conn, size int64) error {
+	if size <= 0 {
+		return respondErr(conn, "register: non-positive size")
+	}
+	s.mu.Lock()
+	if s.used+size > s.capacity {
+		s.mu.Unlock()
+		return respondErr(conn, "register: capacity exhausted")
+	}
+	id := s.nextID
+	s.nextID++
+	nChunks := int((size + ChunkBytes - 1) / ChunkBytes)
+	chunks := make([][]byte, nChunks)
+	for i := range chunks {
+		chunks[i] = make([]byte, ChunkBytes)
+	}
+	s.regions[id] = chunks
+	s.sizes[id] = size
+	s.used += size
+	s.mu.Unlock()
+
+	resp := make([]byte, 8)
+	binary.LittleEndian.PutUint64(resp, id)
+	return respond(conn, resp)
+}
+
+// regionAt validates and returns the chunk list for an IO.
+func (s *Server) regionAt(regionID uint64, offset, length int64) ([][]byte, error) {
+	if length <= 0 || length > MaxIO {
+		return nil, fmt.Errorf("bad length %d", length)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chunks, ok := s.regions[regionID]
+	if !ok {
+		return nil, fmt.Errorf("unknown region %d", regionID)
+	}
+	if offset < 0 || offset+length > s.sizes[regionID] {
+		return nil, fmt.Errorf("out of bounds [%d,%d) in %d", offset, offset+length, s.sizes[regionID])
+	}
+	return chunks, nil
+}
+
+func chunkedCopy(chunks [][]byte, offset int64, buf []byte, toRegion bool) {
+	for len(buf) > 0 {
+		ci := offset / ChunkBytes
+		co := offset % ChunkBytes
+		n := int64(len(buf))
+		if rem := ChunkBytes - co; n > rem {
+			n = rem
+		}
+		if toRegion {
+			copy(chunks[ci][co:co+n], buf[:n])
+		} else {
+			copy(buf[:n], chunks[ci][co:co+n])
+		}
+		buf = buf[n:]
+		offset += n
+	}
+}
+
+func (s *Server) handleRead(conn net.Conn, regionID uint64, offset, length int64) error {
+	chunks, err := s.regionAt(regionID, offset, length)
+	if err != nil {
+		return respondErr(conn, err.Error())
+	}
+	buf := make([]byte, length)
+	chunkedCopy(chunks, offset, buf, false)
+	s.ReadOps.Add(1)
+	s.BytesRead.Add(uint64(length))
+	return respond(conn, buf)
+}
+
+func (s *Server) handleWrite(conn net.Conn, regionID uint64, offset, length int64) error {
+	if length <= 0 || length > MaxIO {
+		return respondErr(conn, fmt.Sprintf("bad length %d", length))
+	}
+	buf := make([]byte, length)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return err
+	}
+	chunks, err := s.regionAt(regionID, offset, length)
+	if err != nil {
+		return respondErr(conn, err.Error())
+	}
+	chunkedCopy(chunks, offset, buf, true)
+	s.WriteOps.Add(1)
+	s.BytesWrite.Add(uint64(length))
+	return respond(conn, nil)
+}
+
+// Stats is the STAT response.
+type Stats struct {
+	Regions    uint64
+	UsedBytes  uint64
+	ReadOps    uint64
+	WriteOps   uint64
+	BytesRead  uint64
+	BytesWrite uint64
+}
+
+func (s *Server) handleStat(conn net.Conn) error {
+	s.mu.Lock()
+	st := Stats{
+		Regions:   uint64(len(s.regions)),
+		UsedBytes: uint64(s.used),
+	}
+	s.mu.Unlock()
+	st.ReadOps = s.ReadOps.Load()
+	st.WriteOps = s.WriteOps.Load()
+	st.BytesRead = s.BytesRead.Load()
+	st.BytesWrite = s.BytesWrite.Load()
+	buf := make([]byte, 48)
+	binary.LittleEndian.PutUint64(buf[0:], st.Regions)
+	binary.LittleEndian.PutUint64(buf[8:], st.UsedBytes)
+	binary.LittleEndian.PutUint64(buf[16:], st.ReadOps)
+	binary.LittleEndian.PutUint64(buf[24:], st.WriteOps)
+	binary.LittleEndian.PutUint64(buf[32:], st.BytesRead)
+	binary.LittleEndian.PutUint64(buf[40:], st.BytesWrite)
+	return respond(conn, buf)
+}
+
+// Client is one connection to a memory node. Methods are safe for
+// sequential use; open one client per worker for parallel IO.
+type Client struct {
+	conn net.Conn
+	mu   sync.Mutex
+	hdr  [25]byte
+}
+
+// Dial connects to a memory node.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("memnode: dial: %w", err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) request(op byte, regionID uint64, offset, length int64, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hdr[0] = op
+	binary.LittleEndian.PutUint64(c.hdr[1:], regionID)
+	binary.LittleEndian.PutUint64(c.hdr[9:], uint64(offset))
+	binary.LittleEndian.PutUint64(c.hdr[17:], uint64(length))
+	if _, err := c.conn.Write(c.hdr[:]); err != nil {
+		return nil, err
+	}
+	if len(payload) > 0 {
+		if _, err := c.conn.Write(payload); err != nil {
+			return nil, err
+		}
+	}
+	var rhdr [9]byte
+	if _, err := io.ReadFull(c.conn, rhdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(rhdr[1:])
+	if n > MaxIO {
+		return nil, fmt.Errorf("memnode: oversized response %d", n)
+	}
+	var body []byte
+	if n > 0 {
+		body = make([]byte, n)
+		if _, err := io.ReadFull(c.conn, body); err != nil {
+			return nil, err
+		}
+	}
+	if rhdr[0] != statusOK {
+		return nil, errors.New("memnode: " + string(body))
+	}
+	return body, nil
+}
+
+// Register sets up a memory region of size bytes and returns its ID.
+func (c *Client) Register(size int64) (uint64, error) {
+	body, err := c.request(opRegister, 0, 0, size, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(body) != 8 {
+		return 0, fmt.Errorf("memnode: short register response (%d bytes)", len(body))
+	}
+	return binary.LittleEndian.Uint64(body), nil
+}
+
+// Read performs a one-sided read of length bytes at offset.
+func (c *Client) Read(regionID uint64, offset, length int64) ([]byte, error) {
+	return c.request(opRead, regionID, offset, length, nil)
+}
+
+// Write performs a one-sided write of data at offset.
+func (c *Client) Write(regionID uint64, offset int64, data []byte) error {
+	_, err := c.request(opWrite, regionID, offset, int64(len(data)), data)
+	return err
+}
+
+// Stat fetches server statistics.
+func (c *Client) Stat() (Stats, error) {
+	body, err := c.request(opStat, 0, 0, 0, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	if len(body) != 48 {
+		return Stats{}, fmt.Errorf("memnode: short stat response (%d bytes)", len(body))
+	}
+	return Stats{
+		Regions:    binary.LittleEndian.Uint64(body[0:]),
+		UsedBytes:  binary.LittleEndian.Uint64(body[8:]),
+		ReadOps:    binary.LittleEndian.Uint64(body[16:]),
+		WriteOps:   binary.LittleEndian.Uint64(body[24:]),
+		BytesRead:  binary.LittleEndian.Uint64(body[32:]),
+		BytesWrite: binary.LittleEndian.Uint64(body[40:]),
+	}, nil
+}

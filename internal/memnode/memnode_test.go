@@ -1,0 +1,236 @@
+package memnode
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func newPair(t *testing.T, capacity int64) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestRegisterReadWrite(t *testing.T) {
+	_, c := newPair(t, 64<<20)
+	id, err := c.Register(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	if err := c.Write(id, 12288, page); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(id, 12288, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Error("read back mismatch")
+	}
+	// Unwritten memory reads as zero.
+	z, err := c.Read(id, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range z {
+		if b != 0 {
+			t.Fatal("fresh region not zeroed")
+		}
+	}
+}
+
+func TestCrossChunkIO(t *testing.T) {
+	_, c := newPair(t, 16<<20)
+	id, err := c.Register(4 << 20) // 2 chunks
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(data)
+	off := int64(ChunkBytes - 32<<10) // straddles the chunk boundary
+	if err := c.Write(id, off, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(id, off, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cross-chunk IO corrupted data")
+	}
+}
+
+func TestOutOfBoundsRejected(t *testing.T) {
+	_, c := newPair(t, 16<<20)
+	id, _ := c.Register(1 << 20)
+	if _, err := c.Read(id, 1<<20-100, 4096); err == nil {
+		t.Error("read past end accepted")
+	}
+	if err := c.Write(id, -1, make([]byte, 10)); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := c.Read(id+99, 0, 4096); err == nil {
+		t.Error("unknown region accepted")
+	}
+	// Connection must survive errors.
+	if _, err := c.Read(id, 0, 4096); err != nil {
+		t.Errorf("connection broken after error: %v", err)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	_, c := newPair(t, 4<<20)
+	if _, err := c.Register(3 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(2 << 20); err == nil {
+		t.Error("over-capacity registration accepted")
+	}
+	if _, err := c.Register(1 << 20); err != nil {
+		t.Error("within-capacity registration rejected")
+	}
+}
+
+func TestInvalidRegisterSize(t *testing.T) {
+	_, c := newPair(t, 4<<20)
+	if _, err := c.Register(0); err == nil {
+		t.Error("zero-size registration accepted")
+	}
+	if _, err := c.Register(-5); err == nil {
+		t.Error("negative-size registration accepted")
+	}
+}
+
+func TestStat(t *testing.T) {
+	_, c := newPair(t, 16<<20)
+	id, _ := c.Register(1 << 20)
+	c.Write(id, 0, make([]byte, 4096))
+	c.Read(id, 0, 4096)
+	c.Read(id, 4096, 4096)
+	st, err := c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Regions != 1 || st.UsedBytes != 1<<20 {
+		t.Errorf("regions=%d used=%d", st.Regions, st.UsedBytes)
+	}
+	if st.ReadOps != 2 || st.WriteOps != 1 {
+		t.Errorf("reads=%d writes=%d", st.ReadOps, st.WriteOps)
+	}
+	if st.BytesRead != 8192 || st.BytesWrite != 4096 {
+		t.Errorf("bytesRead=%d bytesWrite=%d", st.BytesRead, st.BytesWrite)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, setup := newPair(t, 256<<20)
+	id, err := setup.Register(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			// Each worker owns a disjoint slice of pages.
+			base := int64(w) * (8 << 20)
+			for i := 0; i < 50; i++ {
+				pg := base + int64(rng.Intn(2048))*4096
+				want := make([]byte, 4096)
+				rng.Read(want)
+				if err := c.Write(id, pg, want); err != nil {
+					errs <- fmt.Errorf("worker %d write: %w", w, err)
+					return
+				}
+				got, err := c.Read(id, pg, 4096)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d read: %w", w, err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("worker %d data mismatch at %d", w, pg)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestPageRoundTripProperty(t *testing.T) {
+	_, c := newPair(t, 32<<20)
+	id, _ := c.Register(16 << 20)
+	rng := rand.New(rand.NewSource(9))
+	shadow := map[int64][]byte{}
+	for i := 0; i < 200; i++ {
+		pg := int64(rng.Intn(4096)) * 4096
+		if rng.Intn(2) == 0 || shadow[pg] == nil {
+			data := make([]byte, 4096)
+			rng.Read(data)
+			if err := c.Write(id, pg, data); err != nil {
+				t.Fatal(err)
+			}
+			shadow[pg] = data
+		} else {
+			got, err := c.Read(id, pg, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, shadow[pg]) {
+				t.Fatalf("page %d diverged from shadow copy", pg/4096)
+			}
+		}
+	}
+}
+
+func BenchmarkPageRead(b *testing.B) {
+	srv, err := NewServer("127.0.0.1:0", 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	id, _ := c.Register(32 << 20)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(id, int64(i%4096)*4096, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package nic models the RDMA NIC connecting the compute node to the
+// far-memory node.
+//
+// The model has three parts, mirroring the quantities the paper's
+// "ideal" baseline and Figs 14–15 are built from:
+//
+//   - A per-direction link (RX for one-sided READs that fault pages in, TX
+//     for WRITEs that evict pages out). Each transfer holds the link for
+//     size/line-rate; queueing behind other transfers produces congestion
+//     latency under load.
+//   - A base propagation latency (the paper's best-case L = 3.9 µs for a
+//     4 KB page includes this plus one 4 KB serialization).
+//   - CPU-side costs: posting a work request (doorbell) plus the network
+//     stack. The kernel RDMA stack (Hermit, Mage^LNX) costs more per
+//     operation and serializes on a shared lock; the libOS/microkernel
+//     driver (DiLOS, Mage^LIB) uses per-core QPs with no shared lock.
+package nic
+
+import (
+	"mage/internal/sim"
+	"mage/internal/stats"
+)
+
+// PageSize is the transfer granularity of the paging systems.
+const PageSize = 4096
+
+// StackKind selects the host networking stack.
+type StackKind int
+
+const (
+	// StackLibOS is a microkernel-style driver: cheap per-op cost, per-core
+	// QPs, no shared lock.
+	StackLibOS StackKind = iota
+	// StackKernel is the Linux RDMA stack: higher per-op cost plus a shared
+	// submission lock that contends at high thread counts.
+	StackKernel
+)
+
+// Costs parameterizes the NIC. All times in virtual nanoseconds.
+type Costs struct {
+	// BaseLatency is the one-way propagation + remote processing latency.
+	BaseLatency sim.Time
+	// BytesPerNs is the line rate. 24 bytes/ns ≈ 192 Gbps, the practical
+	// limit the paper reports for the 200 Gbps BlueField-2.
+	BytesPerNs float64
+	// DoorbellCost is the CPU time to ring a doorbell / post one WR.
+	DoorbellCost sim.Time
+	// StackCost is the per-operation CPU time in the host stack.
+	StackCost sim.Time
+	// StackLockCost is how long the shared kernel-stack lock is held per
+	// operation (zero for the libOS stack).
+	StackLockCost sim.Time
+}
+
+// DefaultCosts returns costs for the given stack, calibrated so that a
+// 4 KB READ completes in 3.9 µs uncontended on the libOS stack (the
+// paper's measured best case).
+func DefaultCosts(kind StackKind) Costs {
+	c := Costs{
+		BytesPerNs:   24.0, // 192 Gbps
+		DoorbellCost: 100,
+	}
+	serialization := sim.Time(float64(PageSize) / c.BytesPerNs) // ~170 ns
+	switch kind {
+	case StackLibOS:
+		c.StackCost = 130
+		c.StackLockCost = 0
+		c.BaseLatency = 3900 - serialization - c.StackCost - c.DoorbellCost
+	case StackKernel:
+		// The shared submission lock serializes at ~4.3 M ops/s, which is
+		// what caps Mage^LNX at the paper's 139 Gbps (§6.4).
+		c.StackCost = 750
+		c.StackLockCost = 230
+		c.BaseLatency = 3900 - serialization - 130 - c.DoorbellCost
+	}
+	return c
+}
+
+// Backend selects the far-memory transport the paging systems swap to.
+// The paper's conclusion notes MAGE's OS-level optimizations apply to any
+// fast swap backend; these cost presets let the experiments verify that.
+type Backend int
+
+const (
+	// BackendRDMA is the paper's testbed: 200 Gbps BlueField-2.
+	BackendRDMA Backend = iota
+	// BackendNVMe is a local NVMe SSD: ~18 µs read latency, ~7 GB/s.
+	BackendNVMe
+	// BackendZswap is compressed in-DRAM swap: no wire, but every page
+	// pays a CPU compression/decompression cost.
+	BackendZswap
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendRDMA:
+		return "rdma"
+	case BackendNVMe:
+		return "nvme"
+	case BackendZswap:
+		return "zswap"
+	}
+	return "Backend(?)"
+}
+
+// BackendCosts returns cost parameters for a backend behind the given
+// host stack.
+func BackendCosts(b Backend, kind StackKind) Costs {
+	c := DefaultCosts(kind)
+	switch b {
+	case BackendRDMA:
+		// DefaultCosts already models it.
+	case BackendNVMe:
+		c.BytesPerNs = 7.0 // ~7 GB/s
+		c.BaseLatency = 18000
+	case BackendZswap:
+		// "Wire" is a memcpy from the compressed pool; the real cost is
+		// per-page LZO-class (de)compression on the faulting CPU.
+		c.BytesPerNs = 20.0
+		c.BaseLatency = 400
+		c.StackCost += 1800
+	}
+	return c
+}
+
+// NIC is one RDMA adapter with full-duplex RX and TX links.
+type NIC struct {
+	eng   *sim.Engine
+	costs Costs
+	kind  StackKind
+
+	rx        *sim.Mutex // serialization of inbound data (faults in)
+	tx        *sim.Mutex // serialization of outbound data (evictions out)
+	stackLock *sim.Mutex // kernel stack submission lock (nil for libOS)
+
+	BytesRead    stats.Counter
+	BytesWritten stats.Counter
+	Reads        stats.Counter
+	Writes       stats.Counter
+	ReadLatency  *stats.Histogram
+	WriteLatency *stats.Histogram
+}
+
+// New builds a NIC.
+func New(eng *sim.Engine, kind StackKind, costs Costs) *NIC {
+	n := &NIC{
+		eng:          eng,
+		costs:        costs,
+		kind:         kind,
+		rx:           sim.NewMutex(eng, "nic.rx"),
+		tx:           sim.NewMutex(eng, "nic.tx"),
+		ReadLatency:  stats.NewHistogram(),
+		WriteLatency: stats.NewHistogram(),
+	}
+	if kind == StackKernel {
+		n.stackLock = sim.NewMutex(eng, "nic.stacklock")
+	}
+	return n
+}
+
+// NewDefault builds a NIC with DefaultCosts(kind).
+func NewDefault(eng *sim.Engine, kind StackKind) *NIC {
+	return New(eng, kind, DefaultCosts(kind))
+}
+
+// Costs returns the NIC's cost parameters.
+func (n *NIC) Costs() Costs { return n.costs }
+
+// serialize models the wire time of a transfer on the given link.
+func (n *NIC) serialize(p *sim.Proc, link *sim.Mutex, bytes int64) {
+	link.Lock(p)
+	p.Sleep(sim.Time(float64(bytes) / n.costs.BytesPerNs))
+	link.Unlock(p)
+}
+
+// hostPost models the CPU-side cost of submitting one work request.
+func (n *NIC) hostPost(p *sim.Proc) {
+	p.Sleep(n.costs.StackCost)
+	if n.stackLock != nil {
+		n.stackLock.Lock(p)
+		p.Sleep(n.costs.StackLockCost)
+		n.stackLock.Unlock(p)
+	}
+	p.Sleep(n.costs.DoorbellCost)
+}
+
+// Read performs a one-sided RDMA READ of bytes and blocks until the data
+// has arrived (the fault-in path is synchronous). It returns the elapsed
+// virtual time.
+func (n *NIC) Read(p *sim.Proc, bytes int64) sim.Time {
+	start := p.Now()
+	n.hostPost(p)
+	p.Sleep(n.costs.BaseLatency)
+	n.serialize(p, n.rx, bytes)
+	n.Reads.Inc()
+	n.BytesRead.Add(uint64(bytes))
+	d := p.Now() - start
+	n.ReadLatency.Record(int64(d))
+	return d
+}
+
+// Completion is a handle for an asynchronous WRITE.
+type Completion struct {
+	done bool
+	q    *sim.WaitQueue
+	at   sim.Time
+}
+
+// Done reports whether the operation has completed.
+func (c *Completion) Done() bool { return c.done }
+
+// Wait blocks p until the operation completes and returns the completion
+// time.
+func (c *Completion) Wait(p *sim.Proc) sim.Time {
+	for !c.done {
+		c.q.Wait(p)
+	}
+	return c.at
+}
+
+// PostWrite submits a one-sided RDMA WRITE of bytes and returns
+// immediately with a completion handle; the wire transfer proceeds
+// asynchronously. The caller pays only the CPU-side submission cost.
+// This split is what enables the cross-batch pipelined eviction path to
+// overlap RDMA waits with work on other batches (Fig 8, steps ⑤–⑥).
+func (n *NIC) PostWrite(p *sim.Proc, bytes int64) *Completion {
+	n.hostPost(p)
+	c := &Completion{q: sim.NewWaitQueue(n.eng, "wr-completion")}
+	issued := p.Now()
+	n.eng.Spawn("rdma-write", func(wp *sim.Proc) {
+		wp.Sleep(n.costs.BaseLatency)
+		n.serialize(wp, n.tx, bytes)
+		n.Writes.Inc()
+		n.BytesWritten.Add(uint64(bytes))
+		n.WriteLatency.Record(int64(wp.Now() - issued))
+		c.done = true
+		c.at = wp.Now()
+		c.q.Broadcast()
+	})
+	return c
+}
+
+// Write performs a synchronous WRITE (PostWrite + Wait).
+func (n *NIC) Write(p *sim.Proc, bytes int64) sim.Time {
+	start := p.Now()
+	n.PostWrite(p, bytes).Wait(p)
+	return p.Now() - start
+}
+
+// RxGbps returns achieved inbound goodput over the elapsed time, in Gbps.
+func (n *NIC) RxGbps(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n.BytesRead.Value()) * 8 / float64(elapsed)
+}
+
+// TxGbps returns achieved outbound goodput in Gbps.
+func (n *NIC) TxGbps(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n.BytesWritten.Value()) * 8 / float64(elapsed)
+}
+
+// LineRateGbps returns the configured line rate in Gbps.
+func (n *NIC) LineRateGbps() float64 { return n.costs.BytesPerNs * 8 }
+
+// MaxPagesPerSecond returns the per-direction page rate the link supports:
+// the paper's "ideal limit" (5.83 M ops/s at 192 Gbps with 4 KB pages).
+func (n *NIC) MaxPagesPerSecond() float64 {
+	return n.costs.BytesPerNs * 1e9 / PageSize
+}

@@ -1,0 +1,216 @@
+package palloc
+
+import (
+	"fmt"
+	"testing"
+
+	"mage/internal/buddy"
+	"mage/internal/sim"
+	"mage/internal/topo"
+)
+
+func sources(eng *sim.Engine, m *topo.Machine, frames int) []Source {
+	c := DefaultCosts()
+	return []Source{
+		NewGlobalLock(eng, frames, c),
+		NewPerCPUCache(eng, m, frames, 32, c),
+		NewMultiLayer(eng, m, frames, 32, c),
+	}
+}
+
+func TestAllDesignsAllocateEveryFrameExactlyOnce(t *testing.T) {
+	for _, mk := range []func(*sim.Engine, *topo.Machine) Source{
+		func(e *sim.Engine, m *topo.Machine) Source { return NewGlobalLock(e, 256, DefaultCosts()) },
+		func(e *sim.Engine, m *topo.Machine) Source { return NewPerCPUCache(e, m, 256, 16, DefaultCosts()) },
+		func(e *sim.Engine, m *topo.Machine) Source { return NewMultiLayer(e, m, 256, 16, DefaultCosts()) },
+	} {
+		eng := sim.NewEngine()
+		m := topo.NewMachine(1, 4)
+		src := mk(eng, m)
+		eng.Spawn("driver", func(p *sim.Proc) {
+			seen := make(map[buddy.Frame]bool)
+			n := 0
+			for {
+				f, ok := src.Alloc(p, 0)
+				if !ok {
+					break
+				}
+				if seen[f] {
+					t.Errorf("%s: frame %d returned twice", src.Name(), f)
+				}
+				seen[f] = true
+				n++
+			}
+			if n != 256 {
+				t.Errorf("%s: allocated %d frames, want 256", src.Name(), n)
+			}
+			if src.FreeFrames() != 0 {
+				t.Errorf("%s: FreeFrames = %d after exhaustion", src.Name(), src.FreeFrames())
+			}
+		})
+		eng.Run()
+	}
+}
+
+func TestFreeFramesConservation(t *testing.T) {
+	eng := sim.NewEngine()
+	m := topo.NewMachine(2, 4)
+	for _, src := range sources(eng, m, 512) {
+		src := src
+		eng.Spawn("driver-"+src.Name(), func(p *sim.Proc) {
+			var held []buddy.Frame
+			for i := 0; i < 2000; i++ {
+				if i%3 != 2 {
+					core := topo.CoreID(i % m.NumCores())
+					if f, ok := src.Alloc(p, core); ok {
+						held = append(held, f)
+					}
+				} else if len(held) > 0 {
+					core := topo.CoreID(i % m.NumCores())
+					src.Free(p, core, held[len(held)-1])
+					held = held[:len(held)-1]
+				}
+				if got := src.FreeFrames() + len(held); got != 512 {
+					t.Fatalf("%s: conservation broken at op %d: free+held = %d",
+						src.Name(), i, got)
+				}
+			}
+		})
+	}
+	eng.Run()
+}
+
+func TestFreeBatchReturnsAllFrames(t *testing.T) {
+	eng := sim.NewEngine()
+	m := topo.NewMachine(1, 2)
+	for _, src := range sources(eng, m, 256) {
+		src := src
+		eng.Spawn("driver-"+src.Name(), func(p *sim.Proc) {
+			var batch []buddy.Frame
+			for i := 0; i < 100; i++ {
+				f, ok := src.Alloc(p, 0)
+				if !ok {
+					t.Fatalf("%s: alloc %d failed", src.Name(), i)
+				}
+				batch = append(batch, f)
+			}
+			src.FreeBatch(p, 1, batch)
+			if got := src.FreeFrames(); got != 256 {
+				t.Errorf("%s: FreeFrames = %d after batch free, want 256", src.Name(), got)
+			}
+		})
+	}
+	eng.Run()
+}
+
+func TestFramesCirculateThroughLayers(t *testing.T) {
+	// MultiLayer: frames freed in batches by an "evictor" must become
+	// allocatable by an "app" core even when the buddy allocator is empty.
+	eng := sim.NewEngine()
+	m := topo.NewMachine(1, 4)
+	ml := NewMultiLayer(eng, m, 64, 8, DefaultCosts())
+	eng.Spawn("driver", func(p *sim.Proc) {
+		var all []buddy.Frame
+		for {
+			f, ok := ml.Alloc(p, 0)
+			if !ok {
+				break
+			}
+			all = append(all, f)
+		}
+		// Evictor reclaims half the frames on core 3.
+		ml.FreeBatch(p, 3, all[:32])
+		got := 0
+		for {
+			if _, ok := ml.Alloc(p, 1); !ok {
+				break
+			}
+			got++
+		}
+		if got != 32 {
+			t.Errorf("app core allocated %d recycled frames, want 32", got)
+		}
+	})
+	eng.Run()
+}
+
+func TestPerCPUCacheHitAvoidsGlobalLock(t *testing.T) {
+	eng := sim.NewEngine()
+	m := topo.NewMachine(1, 2)
+	c := NewPerCPUCache(eng, m, 256, 32, DefaultCosts())
+	eng.Spawn("driver", func(p *sim.Proc) {
+		// Refills amortize: far fewer lock acquisitions than allocations.
+		const allocs = 100
+		for i := 0; i < allocs; i++ {
+			c.Alloc(p, 0)
+		}
+		if c.mu.Acquires*4 > allocs {
+			t.Errorf("global lock taken %d times for %d allocs; caching broken",
+				c.mu.Acquires, allocs)
+		}
+	})
+	eng.Run()
+}
+
+func TestGlobalLockContentionGrowsWithThreads(t *testing.T) {
+	run := func(threads int) int64 {
+		eng := sim.NewEngine()
+		m := topo.NewMachine(2, 28)
+		g := NewGlobalLock(eng, 1<<16, DefaultCosts())
+		for i := 0; i < threads; i++ {
+			i := i
+			eng.Spawn(fmt.Sprintf("t%d", i), func(p *sim.Proc) {
+				var held []buddy.Frame
+				for k := 0; k < 200; k++ {
+					if f, ok := g.Alloc(p, topo.CoreID(i%m.NumCores())); ok {
+						held = append(held, f)
+					}
+					if len(held) > 8 {
+						g.Free(p, topo.CoreID(i%m.NumCores()), held[0])
+						held = held[1:]
+					}
+				}
+			})
+		}
+		eng.Run()
+		return g.LockWaitNs()
+	}
+	low, high := run(4), run(48)
+	if high < 4*low {
+		t.Errorf("lock wait at 48 threads (%d) should dwarf 4 threads (%d)", high, low)
+	}
+}
+
+func TestMultiLayerBeatsGlobalLockUnderContention(t *testing.T) {
+	run := func(mk func(*sim.Engine, *topo.Machine) Source) sim.Time {
+		eng := sim.NewEngine()
+		m := topo.NewMachine(2, 28)
+		src := mk(eng, m)
+		for i := 0; i < 48; i++ {
+			i := i
+			eng.Spawn(fmt.Sprintf("t%d", i), func(p *sim.Proc) {
+				core := topo.CoreID(i % m.NumCores())
+				var held []buddy.Frame
+				for k := 0; k < 300; k++ {
+					if f, ok := src.Alloc(p, core); ok {
+						held = append(held, f)
+					}
+					if len(held) >= 64 {
+						src.FreeBatch(p, core, held)
+						held = held[:0]
+					}
+				}
+			})
+		}
+		return eng.Run()
+	}
+	tGlobal := run(func(e *sim.Engine, m *topo.Machine) Source {
+		return NewGlobalLock(e, 1<<16, DefaultCosts())
+	})
+	tML := run(func(e *sim.Engine, m *topo.Machine) Source {
+		return NewMultiLayer(e, m, 1<<16, 32, DefaultCosts())
+	})
+	if tML >= tGlobal {
+		t.Errorf("multi-layer (%v) should beat global lock (%v) at 48 threads", tML, tGlobal)
+	}
+}

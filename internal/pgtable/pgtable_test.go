@@ -1,0 +1,272 @@
+package pgtable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mage/internal/buddy"
+	"mage/internal/sim"
+)
+
+func newAS(model LockModel) (*sim.Engine, *AddressSpace) {
+	eng := sim.NewEngine()
+	as := New(eng, 128, model, 8, DefaultCosts())
+	return eng, as
+}
+
+func allModels() []LockModel { return []LockModel{LockGlobal, LockSharded, LockPerPTE} }
+
+func TestInitialStateAllRemote(t *testing.T) {
+	_, as := newAS(LockGlobal)
+	for pg := uint64(0); pg < as.NumPages(); pg++ {
+		if as.PTEOf(pg).State != StateRemote {
+			t.Fatalf("page %d initial state = %v", pg, as.PTEOf(pg).State)
+		}
+	}
+	if as.Resident() != 0 {
+		t.Errorf("Resident = %d", as.Resident())
+	}
+}
+
+func TestFaultLifecycle(t *testing.T) {
+	for _, model := range allModels() {
+		eng, as := newAS(model)
+		eng.Spawn("t", func(p *sim.Proc) {
+			if as.HardwareAccess(5, false) {
+				t.Errorf("[%v] access to remote page reported hit", model)
+			}
+			if d := as.BeginFault(p, 5); d != FaultFetch {
+				t.Fatalf("[%v] BeginFault = %v, want FaultFetch", model, d)
+			}
+			if as.PTEOf(5).State != StateFaulting {
+				t.Errorf("[%v] state = %v during fault", model, as.PTEOf(5).State)
+			}
+			as.CompleteFault(p, 5, 42)
+			pte := as.PTEOf(5)
+			if pte.State != StatePresent || pte.Frame != 42 || !pte.Accessed {
+				t.Errorf("[%v] after fault: %+v", model, pte)
+			}
+			if as.Resident() != 1 {
+				t.Errorf("[%v] Resident = %d", model, as.Resident())
+			}
+			if !as.HardwareAccess(5, true) {
+				t.Errorf("[%v] present page missed", model)
+			}
+			if !as.PTEOf(5).Dirty {
+				t.Errorf("[%v] write did not set dirty bit", model)
+			}
+		})
+		eng.Run()
+	}
+}
+
+func TestEvictionLifecycle(t *testing.T) {
+	for _, model := range allModels() {
+		eng, as := newAS(model)
+		eng.Spawn("t", func(p *sim.Proc) {
+			as.BeginFault(p, 7)
+			as.CompleteFault(p, 7, 3)
+			as.HardwareAccess(7, true)
+
+			// First unmap attempt: accessed bit set -> second chance.
+			if r := as.TryUnmap(p, 7, true); r.OK {
+				t.Errorf("[%v] unmap succeeded despite accessed bit", model)
+			}
+			if as.PTEOf(7).Accessed {
+				t.Errorf("[%v] second chance did not clear accessed bit", model)
+			}
+			// Second attempt succeeds and reports dirtiness.
+			r := as.TryUnmap(p, 7, true)
+			if !r.OK || r.Frame != 3 || !r.Dirty {
+				t.Errorf("[%v] unmap result = %+v", model, r)
+			}
+			if as.PTEOf(7).State != StateEvicting {
+				t.Errorf("[%v] state = %v", model, as.PTEOf(7).State)
+			}
+			as.CompleteEvict(p, 7)
+			if as.PTEOf(7).State != StateRemote || as.Resident() != 0 {
+				t.Errorf("[%v] after evict: %v resident=%d", model, as.PTEOf(7).State, as.Resident())
+			}
+		})
+		eng.Run()
+	}
+}
+
+func TestUnmapIgnoringAccessedBit(t *testing.T) {
+	eng, as := newAS(LockPerPTE)
+	eng.Spawn("t", func(p *sim.Proc) {
+		as.BeginFault(p, 1)
+		as.CompleteFault(p, 1, 9)
+		// honorAccessed=false is the FIFO-queue (Mage^LNX) policy.
+		if r := as.TryUnmap(p, 1, false); !r.OK {
+			t.Error("unmap should succeed when accessed bit is ignored")
+		}
+	})
+	eng.Run()
+}
+
+func TestUnmapNonPresentFails(t *testing.T) {
+	eng, as := newAS(LockGlobal)
+	eng.Spawn("t", func(p *sim.Proc) {
+		if r := as.TryUnmap(p, 0, true); r.OK {
+			t.Error("unmap of remote page succeeded")
+		}
+	})
+	eng.Run()
+}
+
+func TestConcurrentFaultsDeduplicate(t *testing.T) {
+	for _, model := range allModels() {
+		eng, as := newAS(model)
+		fetches := 0
+		for i := 0; i < 10; i++ {
+			eng.Spawn(fmt.Sprintf("t%d", i), func(p *sim.Proc) {
+				switch as.BeginFault(p, 3) {
+				case FaultFetch:
+					fetches++
+					p.Sleep(3900) // simulate RDMA read
+					as.CompleteFault(p, 3, 77)
+				case FaultAlreadyPresent:
+					if as.PTEOf(3).State != StatePresent {
+						t.Errorf("[%v] dedup waiter resumed with state %v",
+							model, as.PTEOf(3).State)
+					}
+				}
+			})
+		}
+		eng.Run()
+		if fetches != 1 {
+			t.Errorf("[%v] %d fetches for one page, want 1", model, fetches)
+		}
+		if as.DedupWaits.Value() != 9 {
+			t.Errorf("[%v] DedupWaits = %d, want 9", model, as.DedupWaits.Value())
+		}
+	}
+}
+
+func TestFaultDuringEvictionWaitsThenRefetches(t *testing.T) {
+	eng, as := newAS(LockPerPTE)
+	var refetched bool
+	eng.Spawn("evictor", func(p *sim.Proc) {
+		as.BeginFault(p, 4)
+		as.CompleteFault(p, 4, 11)
+		r := as.TryUnmap(p, 4, false)
+		if !r.OK {
+			t.Fatal("unmap failed")
+		}
+		p.Sleep(5000) // writeback in flight
+		as.CompleteEvict(p, 4)
+	})
+	eng.Spawn("app", func(p *sim.Proc) {
+		p.Sleep(1000) // fault while eviction in flight
+		if d := as.BeginFault(p, 4); d != FaultFetch {
+			t.Errorf("disposition = %v, want FaultFetch after eviction completes", d)
+		}
+		if p.Now() < 5000 {
+			t.Errorf("fault proceeded at %v, before eviction completed", p.Now())
+		}
+		as.CompleteFault(p, 4, 12)
+		refetched = true
+	})
+	eng.Run()
+	if !refetched {
+		t.Fatal("app thread never refetched")
+	}
+	if as.PTEOf(4).Frame != 12 {
+		t.Errorf("final frame = %d, want 12", as.PTEOf(4).Frame)
+	}
+}
+
+func TestVMAMapAndFind(t *testing.T) {
+	_, as := newAS(LockGlobal)
+	as.Map(0, 50, "heap")
+	as.Map(60, 128, "mmap")
+	if v, ok := as.FindVMA(10); !ok || v.Name != "heap" {
+		t.Errorf("FindVMA(10) = %v,%v", v, ok)
+	}
+	if v, ok := as.FindVMA(60); !ok || v.Name != "mmap" {
+		t.Errorf("FindVMA(60) = %v,%v", v, ok)
+	}
+	if _, ok := as.FindVMA(55); ok {
+		t.Error("FindVMA(55) found a VMA in a hole")
+	}
+}
+
+func TestVMAOverlapPanics(t *testing.T) {
+	_, as := newAS(LockGlobal)
+	as.Map(0, 50, "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	as.Map(49, 60, "b")
+}
+
+func TestCompleteFaultWrongStatePanics(t *testing.T) {
+	eng, as := newAS(LockPerPTE)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	eng.Spawn("t", func(p *sim.Proc) {
+		as.CompleteFault(p, 0, 1) // page is Remote, not Faulting
+	})
+	eng.Run()
+}
+
+func TestShardedLessContendedThanGlobal(t *testing.T) {
+	run := func(model LockModel) int64 {
+		eng := sim.NewEngine()
+		as := New(eng, 1024, model, 16, DefaultCosts())
+		for i := 0; i < 32; i++ {
+			i := i
+			eng.Spawn(fmt.Sprintf("t%d", i), func(p *sim.Proc) {
+				rng := rand.New(rand.NewSource(int64(i)))
+				for k := 0; k < 100; k++ {
+					pg := uint64(rng.Intn(1024))
+					if as.BeginFault(p, pg) == FaultFetch {
+						p.Sleep(100)
+						as.CompleteFault(p, pg, buddy.Frame(pg))
+					}
+				}
+			})
+		}
+		eng.Run()
+		return as.LockWaitNs()
+	}
+	global, sharded := run(LockGlobal), run(LockSharded)
+	if sharded >= global {
+		t.Errorf("sharded wait (%d) should be below global wait (%d)", sharded, global)
+	}
+}
+
+func TestResidentNeverExceedsFaultedPages(t *testing.T) {
+	eng, as := newAS(LockPerPTE)
+	eng.Spawn("t", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(5))
+		present := map[uint64]bool{}
+		for i := 0; i < 2000; i++ {
+			pg := uint64(rng.Intn(64))
+			if present[pg] {
+				if rng.Intn(2) == 0 {
+					if r := as.TryUnmap(p, pg, false); r.OK {
+						as.CompleteEvict(p, pg)
+						delete(present, pg)
+					}
+				}
+			} else {
+				if as.BeginFault(p, pg) == FaultFetch {
+					as.CompleteFault(p, pg, buddy.Frame(pg))
+					present[pg] = true
+				}
+			}
+			if as.Resident() != len(present) {
+				t.Fatalf("op %d: Resident=%d, tracked=%d", i, as.Resident(), len(present))
+			}
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,89 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMajorityDetectsNoisySequential(t *testing.T) {
+	m := NewMajority(5, 4, 1<<20)
+	// Sequential run with one interleaved outlier: a strict-stride
+	// detector gives up; the majority detector must not.
+	var got []uint64
+	for _, pg := range []uint64{100, 101, 102, 9000, 103, 104} {
+		got = m.OnFault(pg)
+	}
+	if len(got) == 0 {
+		t.Fatal("majority stride not detected through noise")
+	}
+	if got[0] != 105 {
+		t.Errorf("first proposal = %d, want 105", got[0])
+	}
+}
+
+func TestMajorityRejectsRandom(t *testing.T) {
+	m := NewMajority(5, 4, 1<<20)
+	issued := 0
+	for _, pg := range []uint64{5, 900, 3, 70000, 41, 88, 12, 6000, 77, 2} {
+		issued += len(m.OnFault(pg))
+	}
+	if issued != 0 {
+		t.Errorf("random stream produced %d proposals", issued)
+	}
+}
+
+func TestMajorityBackwardStride(t *testing.T) {
+	m := NewMajority(4, 2, 1<<20)
+	var got []uint64
+	for _, pg := range []uint64{500, 499, 498, 497, 496} {
+		got = m.OnFault(pg)
+	}
+	if len(got) != 2 || got[0] != 495 || got[1] != 494 {
+		t.Errorf("backward proposals = %v", got)
+	}
+}
+
+func TestMajorityRespectsLimit(t *testing.T) {
+	f := func(startRaw uint16, limitRaw uint16) bool {
+		limit := uint64(limitRaw) + 10
+		start := uint64(startRaw) % limit
+		m := NewMajority(3, 8, limit)
+		for i := uint64(0); i < 8; i++ {
+			for _, pg := range m.OnFault((start + i) % limit) {
+				if pg >= limit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajorityZeroStrideRejected(t *testing.T) {
+	m := NewMajority(4, 4, 1<<20)
+	for i := 0; i < 10; i++ {
+		if got := m.OnFault(42); got != nil {
+			t.Fatalf("same-page faults proposed %v", got)
+		}
+	}
+}
+
+func TestMajorityVsStrideOnInterleavedStreams(t *testing.T) {
+	// Two interleaved sequential streams defeat the strict detector but
+	// not necessarily the majority one when one stream dominates.
+	strict := NewStride(3, 4, 1<<20)
+	maj := NewMajority(7, 4, 1<<20)
+	seq := []uint64{10, 11, 12, 13, 5000, 14, 15, 16, 6000, 17, 18, 19}
+	strictHits, majHits := 0, 0
+	for _, pg := range seq {
+		strictHits += len(strict.OnFault(pg))
+		majHits += len(maj.OnFault(pg))
+	}
+	if majHits <= strictHits {
+		t.Errorf("majority (%d proposals) should beat strict (%d) on noisy streams",
+			majHits, strictHits)
+	}
+}

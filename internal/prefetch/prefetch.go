@@ -1,0 +1,177 @@
+// Package prefetch implements the fault-address pattern-matching
+// prefetcher the paper's systems use for regular access patterns (§6.2):
+// "they record past fault-in virtual addresses to detect sequential
+// access patterns".
+//
+// Each application thread owns one detector. On every major fault, the
+// detector inspects its recent fault history; if the strides agree, it
+// proposes up to Degree pages ahead along the detected stride, ramping the
+// window up on repeated success like Linux readahead.
+package prefetch
+
+import "mage/internal/stats"
+
+// Detector proposes prefetch candidates from a fault-address stream.
+type Detector interface {
+	// OnFault records a major fault at page and returns pages to prefetch
+	// (possibly none).
+	OnFault(page uint64) []uint64
+}
+
+// None is a Detector that never prefetches.
+type None struct{}
+
+// OnFault always returns nil.
+func (None) OnFault(uint64) []uint64 { return nil }
+
+// Majority is a Leap-style prefetcher (Maruf & Chowdhury, ATC'20, the
+// paper's [44]): instead of requiring a perfectly constant stride, it
+// takes the majority stride over a recent fault window, tolerating
+// interleaved noise — the behaviour that lets Leap prefetch through
+// multi-threaded fault streams.
+type Majority struct {
+	// Window is the fault-history length examined per decision.
+	Window int
+	// Degree is the number of pages proposed on a majority hit.
+	Degree int
+	// Limit is the exclusive upper bound of valid page numbers.
+	Limit uint64
+
+	hist []uint64
+
+	// Detections counts faults where a majority stride existed.
+	Detections stats.Counter
+	// Issued counts proposed prefetch pages.
+	Issued stats.Counter
+}
+
+// NewMajority returns a majority-stride detector.
+func NewMajority(window, degree int, limit uint64) *Majority {
+	if window < 3 {
+		window = 3
+	}
+	if degree < 1 {
+		degree = 1
+	}
+	return &Majority{Window: window, Degree: degree, Limit: limit}
+}
+
+// OnFault implements Detector using the Boyer-Moore majority vote over
+// the window's strides.
+func (m *Majority) OnFault(page uint64) []uint64 {
+	m.hist = append(m.hist, page)
+	if len(m.hist) > m.Window+1 {
+		m.hist = m.hist[1:]
+	}
+	if len(m.hist) < m.Window+1 {
+		return nil
+	}
+	// Boyer-Moore majority candidate over strides.
+	var cand int64
+	count := 0
+	for i := 1; i < len(m.hist); i++ {
+		d := int64(m.hist[i]) - int64(m.hist[i-1])
+		if count == 0 {
+			cand, count = d, 1
+		} else if d == cand {
+			count++
+		} else {
+			count--
+		}
+	}
+	if cand == 0 {
+		return nil
+	}
+	// Verify it is a true majority.
+	occur := 0
+	for i := 1; i < len(m.hist); i++ {
+		if int64(m.hist[i])-int64(m.hist[i-1]) == cand {
+			occur++
+		}
+	}
+	if occur*2 <= m.Window {
+		return nil
+	}
+	m.Detections.Inc()
+	var out []uint64
+	next := int64(page)
+	for i := 0; i < m.Degree; i++ {
+		next += cand
+		if next < 0 || uint64(next) >= m.Limit {
+			break
+		}
+		out = append(out, uint64(next))
+	}
+	m.Issued.Add(uint64(len(out)))
+	return out
+}
+
+// Stride detects constant-stride fault sequences.
+type Stride struct {
+	// MatchLen is how many consecutive equal strides trigger prefetch.
+	MatchLen int
+	// MaxDegree caps the ramped prefetch distance.
+	MaxDegree int
+	// Limit is the exclusive upper bound of valid page numbers.
+	Limit uint64
+
+	hist   []uint64
+	degree int
+
+	// Detections counts faults where a pattern was recognized.
+	Detections stats.Counter
+	// Issued counts proposed prefetch pages.
+	Issued stats.Counter
+}
+
+// NewStride returns a detector requiring matchLen consistent strides and
+// prefetching up to maxDegree pages within [0, limit).
+func NewStride(matchLen, maxDegree int, limit uint64) *Stride {
+	if matchLen < 2 {
+		matchLen = 2
+	}
+	if maxDegree < 1 {
+		maxDegree = 1
+	}
+	return &Stride{MatchLen: matchLen, MaxDegree: maxDegree, Limit: limit, degree: 2}
+}
+
+// OnFault implements Detector.
+func (s *Stride) OnFault(page uint64) []uint64 {
+	s.hist = append(s.hist, page)
+	if len(s.hist) > s.MatchLen+1 {
+		s.hist = s.hist[1:]
+	}
+	if len(s.hist) < s.MatchLen+1 {
+		return nil
+	}
+	stride := int64(s.hist[1]) - int64(s.hist[0])
+	if stride == 0 {
+		return nil
+	}
+	for i := 2; i < len(s.hist); i++ {
+		if int64(s.hist[i])-int64(s.hist[i-1]) != stride {
+			s.degree = 2 // pattern broken: reset ramp
+			return nil
+		}
+	}
+	s.Detections.Inc()
+	var out []uint64
+	next := int64(page)
+	for i := 0; i < s.degree; i++ {
+		next += stride
+		if next < 0 || uint64(next) >= s.Limit {
+			break
+		}
+		out = append(out, uint64(next))
+	}
+	// Ramp up on sustained success, like readahead window doubling.
+	if s.degree < s.MaxDegree {
+		s.degree *= 2
+		if s.degree > s.MaxDegree {
+			s.degree = s.MaxDegree
+		}
+	}
+	s.Issued.Add(uint64(len(out)))
+	return out
+}

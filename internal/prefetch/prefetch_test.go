@@ -1,0 +1,123 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNoneNeverPrefetches(t *testing.T) {
+	var n None
+	for pg := uint64(0); pg < 100; pg++ {
+		if got := n.OnFault(pg); got != nil {
+			t.Fatalf("None proposed %v", got)
+		}
+	}
+}
+
+func TestStrideDetectsSequential(t *testing.T) {
+	s := NewStride(3, 8, 1<<20)
+	var got []uint64
+	for pg := uint64(100); pg < 104; pg++ {
+		got = s.OnFault(pg)
+	}
+	if len(got) == 0 {
+		t.Fatal("sequential run not detected")
+	}
+	for i, pg := range got {
+		if pg != 104+uint64(i) {
+			t.Errorf("prefetch[%d] = %d, want %d", i, pg, 104+i)
+		}
+	}
+}
+
+func TestStrideDetectsBackward(t *testing.T) {
+	s := NewStride(3, 4, 1<<20)
+	var got []uint64
+	for _, pg := range []uint64{500, 499, 498, 497} {
+		got = s.OnFault(pg)
+	}
+	if len(got) == 0 || got[0] != 496 {
+		t.Errorf("backward stride proposals = %v", got)
+	}
+}
+
+func TestStrideDetectsLargeStride(t *testing.T) {
+	s := NewStride(3, 2, 1<<20)
+	var got []uint64
+	for _, pg := range []uint64{0, 7, 14, 21} {
+		got = s.OnFault(pg)
+	}
+	if len(got) != 2 || got[0] != 28 || got[1] != 35 {
+		t.Errorf("stride-7 proposals = %v", got)
+	}
+}
+
+func TestRandomPatternNotDetected(t *testing.T) {
+	s := NewStride(3, 8, 1<<20)
+	issued := 0
+	for _, pg := range []uint64{3, 77, 12, 9000, 41, 6, 523, 88, 2, 1000} {
+		issued += len(s.OnFault(pg))
+	}
+	if issued != 0 {
+		t.Errorf("random faults produced %d prefetches", issued)
+	}
+}
+
+func TestDegreeRampsUpAndResets(t *testing.T) {
+	s := NewStride(2, 16, 1<<20)
+	var sizes []int
+	for pg := uint64(0); pg < 8; pg++ {
+		if got := s.OnFault(pg); got != nil {
+			sizes = append(sizes, len(got))
+		}
+	}
+	if len(sizes) < 3 {
+		t.Fatalf("too few detections: %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] < sizes[i-1] {
+			t.Errorf("degree should ramp: %v", sizes)
+		}
+	}
+	if sizes[len(sizes)-1] != 16 {
+		t.Errorf("final degree = %d, want 16 (cap)", sizes[len(sizes)-1])
+	}
+	// A break in the pattern resets the ramp.
+	s.OnFault(1 << 19)
+	s.OnFault(100)
+	s.OnFault(101)
+	got := s.OnFault(102)
+	if len(got) > 2 {
+		t.Errorf("degree after reset = %d, want <= 2", len(got))
+	}
+}
+
+func TestProposalsRespectLimit(t *testing.T) {
+	f := func(startRaw uint16, limitRaw uint16) bool {
+		limit := uint64(limitRaw) + 8
+		start := uint64(startRaw) % limit
+		s := NewStride(2, 8, limit)
+		var all []uint64
+		for i := uint64(0); i < 6; i++ {
+			all = append(all, s.OnFault((start+i)%limit)...)
+		}
+		for _, pg := range all {
+			if pg >= limit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroStrideIgnored(t *testing.T) {
+	s := NewStride(2, 8, 1<<20)
+	for i := 0; i < 10; i++ {
+		if got := s.OnFault(42); got != nil {
+			t.Fatalf("repeated same-page faults proposed %v", got)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package sim
+
+// Mutex is a FIFO-queued lock for simulated processes. Waiting for a
+// contended Mutex consumes virtual time; the engine records how much, which
+// is how lock contention shows up in experiment results.
+//
+// The zero value is NOT usable; create with NewMutex so contention
+// statistics are attached to an engine.
+type Mutex struct {
+	eng     *Engine
+	name    string
+	holder  *Proc
+	waiters []*Proc
+	waitAt  []Time
+
+	// Contention statistics, readable at any time.
+	Acquires  uint64 // total successful Lock calls
+	Contended uint64 // Lock calls that had to wait
+	WaitNs    int64  // total virtual ns spent waiting
+	MaxWaitNs int64  // largest single wait
+}
+
+// NewMutex returns an unlocked mutex attached to eng.
+func NewMutex(eng *Engine, name string) *Mutex {
+	return &Mutex{eng: eng, name: name}
+}
+
+// Name returns the name given at construction.
+func (m *Mutex) Name() string { return m.name }
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.holder != nil }
+
+// QueueLen returns the number of processes waiting for the mutex.
+func (m *Mutex) QueueLen() int { return len(m.waiters) }
+
+// Lock acquires the mutex, blocking p in FIFO order if it is held.
+func (m *Mutex) Lock(p *Proc) {
+	m.Acquires++
+	if m.holder == nil {
+		m.holder = p
+		return
+	}
+	m.Contended++
+	m.waiters = append(m.waiters, p)
+	m.waitAt = append(m.waitAt, p.eng.now)
+	start := p.eng.now
+	p.block()
+	waited := int64(p.eng.now - start)
+	m.WaitNs += waited
+	if waited > m.MaxWaitNs {
+		m.MaxWaitNs = waited
+	}
+	// Ownership was transferred by Unlock before we were woken.
+	if m.holder != p {
+		panic("sim: mutex handoff error on " + m.name)
+	}
+}
+
+// TryLock acquires the mutex if it is free and reports whether it did.
+func (m *Mutex) TryLock(p *Proc) bool {
+	if m.holder != nil {
+		return false
+	}
+	m.Acquires++
+	m.holder = p
+	return true
+}
+
+// Unlock releases the mutex, handing it to the longest-waiting process if
+// any. Only the holder may unlock.
+func (m *Mutex) Unlock(p *Proc) {
+	if m.holder != p {
+		panic("sim: unlock of mutex " + m.name + " not held by " + p.name)
+	}
+	if len(m.waiters) == 0 {
+		m.holder = nil
+		return
+	}
+	next := m.waiters[0]
+	copy(m.waiters, m.waiters[1:])
+	m.waiters = m.waiters[:len(m.waiters)-1]
+	m.waitAt = m.waitAt[:len(m.waitAt)-1]
+	m.holder = next
+	m.eng.wake(next, wakeSignal)
+}
+
+// AvgWait returns the mean virtual time spent waiting per acquisition, in
+// nanoseconds.
+func (m *Mutex) AvgWait() float64 {
+	if m.Acquires == 0 {
+		return 0
+	}
+	return float64(m.WaitNs) / float64(m.Acquires)
+}
+
+// WaitQueue is a condition-variable-like wait list. Processes Wait on it
+// and are released in FIFO order by Signal or Broadcast.
+type WaitQueue struct {
+	eng     *Engine
+	name    string
+	waiters []*Proc
+
+	Waits   uint64
+	WaitNs  int64
+	Signals uint64
+}
+
+// NewWaitQueue returns an empty wait queue attached to eng.
+func NewWaitQueue(eng *Engine, name string) *WaitQueue {
+	return &WaitQueue{eng: eng, name: name}
+}
+
+// Len returns the number of waiting processes.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Wait blocks p until a Signal or Broadcast releases it.
+func (q *WaitQueue) Wait(p *Proc) {
+	q.Waits++
+	q.waiters = append(q.waiters, p)
+	start := p.eng.now
+	p.block()
+	q.WaitNs += int64(p.eng.now - start)
+}
+
+// WaitTimeout blocks p until signaled or until d elapses. It reports true
+// if the process was signaled and false on timeout.
+func (q *WaitQueue) WaitTimeout(p *Proc, d Time) bool {
+	q.Waits++
+	q.waiters = append(q.waiters, p)
+	start := p.eng.now
+	// Schedule the timeout as the pending event; Signal cancels it.
+	p.blocked = true
+	p.pending = q.eng.schedule(q.eng.now+d, p, wakeTimeout)
+	reason := p.park()
+	p.blocked = false
+	p.pending = nil
+	q.WaitNs += int64(p.eng.now - start)
+	if reason == wakeTimeout {
+		q.remove(p)
+		return false
+	}
+	return true
+}
+
+func (q *WaitQueue) remove(p *Proc) {
+	for i, w := range q.waiters {
+		if w == p {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal releases up to n waiting processes (FIFO) and returns how many it
+// released.
+func (q *WaitQueue) Signal(n int) int {
+	released := 0
+	for released < n && len(q.waiters) > 0 {
+		p := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		// A WaitTimeout waiter has a pending timeout event; wake cancels it.
+		q.eng.scheduleWake(p, q.eng.now, wakeSignal)
+		released++
+	}
+	q.Signals += uint64(released)
+	return released
+}
+
+// Broadcast releases all waiting processes.
+func (q *WaitQueue) Broadcast() int { return q.Signal(len(q.waiters)) }
+
+// Semaphore is a counting semaphore with FIFO wakeup.
+type Semaphore struct {
+	eng   *Engine
+	name  string
+	count int
+	q     *WaitQueue
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(eng *Engine, name string, count int) *Semaphore {
+	return &Semaphore{eng: eng, name: name, count: count, q: NewWaitQueue(eng, name+".q")}
+}
+
+// Count returns the number of currently available permits.
+func (s *Semaphore) Count() int { return s.count }
+
+// Acquire takes one permit, blocking until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.count == 0 {
+		s.q.Wait(p)
+	}
+	s.count--
+}
+
+// TryAcquire takes a permit without blocking and reports whether it did.
+func (s *Semaphore) TryAcquire(*Proc) bool {
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Release returns n permits and wakes up to n waiters.
+func (s *Semaphore) Release(n int) {
+	s.count += n
+	s.q.Signal(n)
+}

@@ -1,0 +1,302 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine provides virtual time measured in integer nanoseconds and
+// cooperatively scheduled processes (goroutines that run one at a time,
+// hand-off style). All far-memory experiments in this repository run on
+// this engine so that results are reproducible bit-for-bit: given the same
+// seed and configuration, every run produces the same event order and the
+// same measurements.
+//
+// A process interacts with the engine only through its *Proc handle:
+//
+//	eng := sim.NewEngine()
+//	eng.Spawn("worker", func(p *sim.Proc) {
+//		p.Sleep(100)        // advance virtual time by 100 ns
+//		mu.Lock(p)          // FIFO-queued mutex; waiting costs virtual time
+//		defer mu.Unlock(p)
+//		...
+//	})
+//	eng.Run()
+//
+// Exactly one process executes at any instant, so code between blocking
+// calls (Sleep, Lock, Wait, ...) never races with other processes and needs
+// no host-level synchronization.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, usable as Time deltas.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1e3
+	Millisecond Time = 1e6
+	Second      Time = 1e9
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros returns t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/1e6)
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/1e3)
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// wakeReason records why a blocked process resumed.
+type wakeReason int
+
+const (
+	wakeNone wakeReason = iota
+	wakeSleep
+	wakeSignal
+	wakeTimeout
+)
+
+type event struct {
+	at       Time
+	seq      uint64
+	p        *Proc
+	reason   wakeReason
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Proc is the handle a simulated process uses to interact with the engine.
+type Proc struct {
+	eng     *Engine
+	name    string
+	id      int
+	resume  chan wakeReason
+	blocked bool   // parked with no pending event (waiting on a queue)
+	pending *event // the single scheduled wake event, if any
+	exited  bool
+}
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns a small unique integer identifying this process.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Engine runs the simulation: it owns the virtual clock and the event queue.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	cur     *Proc
+	procs   map[*Proc]struct{} // live processes only
+	live    int
+	nextID  int
+	panicV  interface{}
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and no processes.
+func NewEngine() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Live returns the number of processes that have not yet exited.
+func (e *Engine) Live() int { return e.live }
+
+// Spawn creates a process that will begin executing fn at the current
+// virtual time. It may be called before Run or from inside a running
+// process.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		id:     e.nextID,
+		resume: make(chan wakeReason),
+	}
+	e.nextID++
+	e.live++
+	e.procs[p] = struct{}{}
+	e.scheduleWake(p, e.now, wakeSleep)
+	go func() {
+		r := <-p.resume
+		_ = r
+		defer func() {
+			if v := recover(); v != nil {
+				e.panicV = v
+			}
+			p.exited = true
+			e.live--
+			delete(e.procs, p)
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+func (e *Engine) schedule(at Time, p *Proc, reason wakeReason) *event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, p: p, reason: reason}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// scheduleWake arranges for p to resume at time at, canceling any
+// previously pending wake.
+func (e *Engine) scheduleWake(p *Proc, at Time, reason wakeReason) {
+	if p.pending != nil {
+		p.pending.canceled = true
+	}
+	p.pending = e.schedule(at, p, reason)
+	p.blocked = false
+}
+
+// Run processes events until none remain or Stop is called. It returns the
+// final virtual time. If processes remain blocked with no pending events
+// (a simulated deadlock), Run panics with a description of the stuck
+// processes. If any process panicked, Run re-panics with its value.
+func (e *Engine) Run() Time {
+	return e.RunUntil(MaxTime)
+}
+
+// RunUntil is like Run but stops once the clock would pass the deadline.
+// Events at exactly the deadline still execute.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at > deadline {
+			// Put it back for a later RunUntil call.
+			heap.Push(&e.events, ev)
+			e.now = deadline
+			return e.now
+		}
+		e.now = ev.at
+		p := ev.p
+		p.pending = nil
+		e.cur = p
+		p.resume <- ev.reason
+		<-e.yield
+		e.cur = nil
+		if e.panicV != nil {
+			panic(e.panicV)
+		}
+	}
+	if !e.stopped && e.live > 0 {
+		panic(fmt.Sprintf("sim: deadlock at t=%v: %d blocked process(es): %v",
+			e.now, e.live, e.blockedNames()))
+	}
+	return e.now
+}
+
+func (e *Engine) blockedNames() []string {
+	var names []string
+	for p := range e.procs {
+		if !p.exited {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) > 8 {
+		names = append(names[:8], "...")
+	}
+	return names
+}
+
+// Stop makes Run return after the current event completes. Blocked
+// processes are abandoned (their goroutines are leaked for the remainder of
+// the host process; engines are cheap and short-lived in practice).
+func (e *Engine) Stop() { e.stopped = true }
+
+// park transfers control back to the engine and blocks until resumed.
+func (p *Proc) park() wakeReason {
+	p.eng.yield <- struct{}{}
+	return <-p.resume
+}
+
+// Sleep advances this process's virtual time by d nanoseconds. Other
+// processes run in the meantime. A non-positive d yields without advancing
+// time (the process is rescheduled at the current instant, after any
+// already-scheduled events at this instant).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.scheduleWake(p, p.eng.now+d, wakeSleep)
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting every other
+// event at this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// block parks the process with no pending event; some other process must
+// call eng.wake to resume it.
+func (p *Proc) block() wakeReason {
+	p.blocked = true
+	r := p.park()
+	p.blocked = false
+	return r
+}
+
+// wake resumes a process blocked in block(), at the current time.
+func (e *Engine) wake(p *Proc, reason wakeReason) {
+	if !p.blocked {
+		panic("sim: wake of non-blocked process " + p.name)
+	}
+	e.scheduleWake(p, e.now, reason)
+}

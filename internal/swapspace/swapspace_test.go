@@ -1,0 +1,169 @@
+package swapspace
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mage/internal/sim"
+)
+
+func TestGlobalMapAllocatesAllSlotsOnce(t *testing.T) {
+	eng := sim.NewEngine()
+	g := NewGlobalSwapMap(eng, 64, DefaultCosts())
+	eng.Spawn("t", func(p *sim.Proc) {
+		seen := map[Entry]bool{}
+		for i := 0; i < 64; i++ {
+			e, ok := g.Alloc(p, uint64(i))
+			if !ok {
+				t.Fatalf("alloc %d failed", i)
+			}
+			if seen[e] {
+				t.Fatalf("entry %d handed out twice", e)
+			}
+			seen[e] = true
+		}
+		if _, ok := g.Alloc(p, 0); ok {
+			t.Error("alloc beyond capacity succeeded")
+		}
+		if g.FreeSlots() != 0 {
+			t.Errorf("FreeSlots = %d", g.FreeSlots())
+		}
+	})
+	eng.Run()
+}
+
+func TestGlobalMapFreeRecycles(t *testing.T) {
+	eng := sim.NewEngine()
+	g := NewGlobalSwapMap(eng, 4, DefaultCosts())
+	eng.Spawn("t", func(p *sim.Proc) {
+		var es []Entry
+		for i := 0; i < 4; i++ {
+			e, _ := g.Alloc(p, 0)
+			es = append(es, e)
+		}
+		g.Free(p, es[2])
+		if g.FreeSlots() != 1 {
+			t.Errorf("FreeSlots = %d, want 1", g.FreeSlots())
+		}
+		e, ok := g.Alloc(p, 0)
+		if !ok || e != es[2] {
+			t.Errorf("recycled entry = %d,%v; want %d", e, ok, es[2])
+		}
+	})
+	eng.Run()
+}
+
+func TestGlobalMapBadFreePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	g := NewGlobalSwapMap(eng, 4, DefaultCosts())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	eng.Spawn("t", func(p *sim.Proc) { g.Free(p, 2) })
+	eng.Run()
+}
+
+func TestGlobalMapConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		eng := sim.NewEngine()
+		g := NewGlobalSwapMap(eng, 32, DefaultCosts())
+		ok := true
+		eng.Spawn("t", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(seed))
+			var held []Entry
+			for i := 0; i < 500; i++ {
+				if rng.Intn(2) == 0 {
+					if e, got := g.Alloc(p, 0); got {
+						held = append(held, e)
+					}
+				} else if len(held) > 0 {
+					j := rng.Intn(len(held))
+					g.Free(p, held[j])
+					held[j] = held[len(held)-1]
+					held = held[:len(held)-1]
+				}
+				if g.FreeSlots()+len(held) != 32 {
+					ok = false
+					return
+				}
+			}
+		})
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalMapLockContends(t *testing.T) {
+	eng := sim.NewEngine()
+	g := NewGlobalSwapMap(eng, 1<<14, DefaultCosts())
+	for i := 0; i < 48; i++ {
+		eng.Spawn(fmt.Sprintf("t%d", i), func(p *sim.Proc) {
+			for k := 0; k < 50; k++ {
+				g.Alloc(p, 0)
+			}
+		})
+	}
+	eng.Run()
+	if g.LockWaitNs() == 0 {
+		t.Error("expected contention on the global swap lock")
+	}
+}
+
+func TestDirectMapIdentity(t *testing.T) {
+	d := NewDirectMap(100)
+	eng := sim.NewEngine()
+	eng.Spawn("t", func(p *sim.Proc) {
+		for pg := uint64(0); pg < 100; pg += 7 {
+			e, ok := d.Alloc(p, pg)
+			if !ok || e != Entry(pg) {
+				t.Errorf("Alloc(%d) = %d,%v", pg, e, ok)
+			}
+		}
+		if _, ok := d.Alloc(p, 100); ok {
+			t.Error("out-of-range page allocated")
+		}
+		d.Free(p, 5) // no-op, must not panic
+	})
+	eng.Run()
+	if d.LockWaitNs() != 0 {
+		t.Error("direct map has no lock")
+	}
+}
+
+func TestDirectMapZeroCost(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDirectMap(1000)
+	eng.Spawn("t", func(p *sim.Proc) {
+		start := p.Now()
+		for pg := uint64(0); pg < 1000; pg++ {
+			d.Alloc(p, pg)
+		}
+		if p.Now() != start {
+			t.Errorf("direct-map allocs consumed %v of virtual time", p.Now()-start)
+		}
+	})
+	eng.Run()
+}
+
+func TestInvalidSizesPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGlobalSwapMap(sim.NewEngine(), 0, DefaultCosts()) },
+		func() { NewDirectMap(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,228 @@
+// Package tlbsim models per-core translation lookaside buffers and the
+// shootdown protocol used to keep them coherent during page eviction
+// (EP₂ in the paper's workflow, §3.3.1).
+//
+// Each core's TLB is a bounded set of virtual page numbers with FIFO
+// replacement. Invalidation on remote cores requires an IPI broadcast via
+// an apic.Fabric; the handler cost depends on how many pages are being
+// invalidated — per-page INVLPG up to a threshold, then one full flush
+// (writing cr3), matching how Linux chooses between the two.
+package tlbsim
+
+import (
+	"mage/internal/apic"
+	"mage/internal/sim"
+	"mage/internal/stats"
+	"mage/internal/topo"
+)
+
+// TLB is one core's translation cache: a bounded set of virtual page
+// numbers with FIFO replacement.
+type TLB struct {
+	capacity int
+	entries  map[uint64]int // page -> ring index
+	ring     []uint64
+	pos      int
+
+	Hits   uint64
+	Misses uint64
+}
+
+const emptySlot = ^uint64(0)
+
+// NewTLB returns a TLB holding up to capacity entries.
+func NewTLB(capacity int) *TLB {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &TLB{
+		capacity: capacity,
+		entries:  make(map[uint64]int, capacity),
+		ring:     make([]uint64, capacity),
+	}
+	for i := range t.ring {
+		t.ring[i] = emptySlot
+	}
+	return t
+}
+
+// Touch looks up page, inserting it on a miss (evicting the oldest entry
+// if full), and reports whether it hit. The page number emptySlot (all
+// ones) is reserved and must not be used.
+func (t *TLB) Touch(page uint64) bool {
+	if _, ok := t.entries[page]; ok {
+		t.Hits++
+		return true
+	}
+	t.Misses++
+	if old := t.ring[t.pos]; old != emptySlot {
+		// Only evict if the slot still owns the mapping (FlushPage may
+		// have removed it already).
+		if idx, ok := t.entries[old]; ok && idx == t.pos {
+			delete(t.entries, old)
+		}
+	}
+	t.ring[t.pos] = page
+	t.entries[page] = t.pos
+	t.pos = (t.pos + 1) % t.capacity
+	return false
+}
+
+// Contains reports whether page is cached without updating statistics.
+func (t *TLB) Contains(page uint64) bool {
+	_, ok := t.entries[page]
+	return ok
+}
+
+// Len returns the number of cached entries.
+func (t *TLB) Len() int { return len(t.entries) }
+
+// FlushPage removes one page if present.
+func (t *TLB) FlushPage(page uint64) {
+	if i, ok := t.entries[page]; ok {
+		delete(t.entries, page)
+		t.ring[i] = emptySlot
+	}
+}
+
+// FlushAll empties the TLB (the cr3-write path).
+func (t *TLB) FlushAll() {
+	for k := range t.entries {
+		delete(t.entries, k)
+	}
+	for i := range t.ring {
+		t.ring[i] = emptySlot
+	}
+}
+
+// Costs parameterizes shootdown handler time.
+type Costs struct {
+	// Invlpg is the per-page invalidation cost inside the handler.
+	Invlpg sim.Time
+	// FullFlush is the cost of flushing the whole TLB.
+	FullFlush sim.Time
+	// FullFlushThreshold: batches larger than this use FullFlush.
+	FullFlushThreshold int
+	// LocalFlush is the initiator-side cost of invalidating its own TLB.
+	LocalFlush sim.Time
+}
+
+// DefaultCosts returns handler costs calibrated to commodity x86.
+func DefaultCosts() Costs {
+	return Costs{
+		Invlpg:             120,
+		FullFlush:          600,
+		FullFlushThreshold: 33,
+		LocalFlush:         150,
+	}
+}
+
+// Shooter performs TLB shootdowns over an IPI fabric and tracks the TLB of
+// every core.
+type Shooter struct {
+	fabric *apic.Fabric
+	costs  Costs
+	tlbs   []*TLB
+
+	// Shootdowns counts broadcast operations (not individual IPIs).
+	Shootdowns stats.Counter
+	// PagesInvalidated counts pages covered by all shootdowns.
+	PagesInvalidated stats.Counter
+	// Latency records the initiator-observed time per shootdown — the
+	// "TLB shootdown latency" series of Fig 7.
+	Latency *stats.Histogram
+}
+
+// NewShooter builds a shooter over fabric with one TLB per core of
+// tlbCapacity entries.
+func NewShooter(fabric *apic.Fabric, machine *topo.Machine, costs Costs, tlbCapacity int) *Shooter {
+	s := &Shooter{
+		fabric:  fabric,
+		costs:   costs,
+		Latency: stats.NewHistogram(),
+	}
+	for i := 0; i < machine.NumCores(); i++ {
+		s.tlbs = append(s.tlbs, NewTLB(tlbCapacity))
+	}
+	return s
+}
+
+// TLBOf returns the TLB of a core.
+func (s *Shooter) TLBOf(c topo.CoreID) *TLB { return s.tlbs[c] }
+
+// HandlerCost returns the per-target handler time for invalidating npages.
+func (s *Shooter) HandlerCost(npages int) sim.Time {
+	if npages > s.costs.FullFlushThreshold {
+		return s.costs.FullFlush
+	}
+	return sim.Time(npages) * s.costs.Invlpg
+}
+
+// Completion tracks an asynchronous shootdown.
+type Completion struct {
+	inner   *apic.Completion
+	shooter *Shooter
+	start   sim.Time
+	sendEnd sim.Time
+	settled bool
+	targets []topo.CoreID
+	pages   []uint64
+}
+
+// Done reports whether all targets have acknowledged.
+func (c *Completion) Done() bool { return c.inner == nil || c.inner.Done() }
+
+// Wait blocks p until all targets have acknowledged and settles the TLB
+// state. It returns the initiator-observed shootdown duration.
+func (c *Completion) Wait(p *sim.Proc) sim.Time {
+	if c.inner != nil {
+		c.inner.Wait(p)
+	}
+	if !c.settled {
+		c.settled = true
+		for _, t := range c.targets {
+			c.shooter.invalidate(c.shooter.tlbs[t], c.pages)
+		}
+		d := p.Now() - c.start
+		c.shooter.Latency.Record(int64(d))
+	}
+	return p.Now() - c.start
+}
+
+// PostShootdown invalidates pages on the initiator core, issues the IPIs
+// (paying the serialized send cost), and returns without waiting for
+// acknowledgements. Target TLB state is settled when the returned handle
+// is waited on. The initiator core must not appear in targets.
+func (s *Shooter) PostShootdown(p *sim.Proc, from topo.CoreID, targets []topo.CoreID, pages []uint64) *Completion {
+	c := &Completion{shooter: s, start: p.Now(), targets: targets, pages: pages}
+	// Local invalidation first (INVLPG/cr3 on the initiating core).
+	p.Sleep(s.costs.LocalFlush)
+	s.invalidate(s.tlbs[from], pages)
+	if len(targets) > 0 {
+		c.inner = s.fabric.Post(p, from, targets, s.HandlerCost(len(pages)))
+	}
+	c.sendEnd = p.Now()
+	s.Shootdowns.Inc()
+	s.PagesInvalidated.Add(uint64(len(pages)))
+	return c
+}
+
+// SendTime returns how long the initiator spent issuing the IPIs.
+func (c *Completion) SendTime() sim.Time { return c.sendEnd - c.start }
+
+// Shootdown invalidates pages on the initiator core and on every target
+// core, blocking p until all targets acknowledge. It returns the total
+// virtual time taken. The initiator core must not appear in targets.
+func (s *Shooter) Shootdown(p *sim.Proc, from topo.CoreID, targets []topo.CoreID, pages []uint64) sim.Time {
+	return s.PostShootdown(p, from, targets, pages).Wait(p)
+}
+
+func (s *Shooter) invalidate(t *TLB, pages []uint64) {
+	if len(pages) > s.costs.FullFlushThreshold {
+		t.FlushAll()
+		return
+	}
+	for _, pg := range pages {
+		t.FlushPage(pg)
+	}
+}

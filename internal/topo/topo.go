@@ -1,0 +1,127 @@
+// Package topo models the machine topology the paper evaluates on: a
+// dual-socket server with a fixed number of cores per socket.
+//
+// Cores carry "stolen time" accounting: interrupt handlers (TLB shootdowns
+// delivered by eviction threads) charge their execution time to the core
+// they run on, and the application thread bound to that core observes the
+// charge the next time it advances its own clock. This reproduces the
+// paper's observation that remote TLB flushes initiated by background
+// eviction threads consume cycles on application cores (§6.4).
+package topo
+
+import "fmt"
+
+// CoreID identifies a core; IDs are dense in [0, NumCores).
+type CoreID int
+
+// Core is one CPU core.
+type Core struct {
+	ID     CoreID
+	Socket int
+
+	stolenNs int64
+
+	// IRQs counts interrupts handled by this core.
+	IRQs uint64
+	// StolenTotalNs is the cumulative stolen time, for reporting.
+	StolenTotalNs int64
+}
+
+// Steal charges ns of interrupt-handler time to the core.
+func (c *Core) Steal(ns int64) {
+	c.stolenNs += ns
+	c.StolenTotalNs += ns
+	c.IRQs++
+}
+
+// DrainStolen returns and clears the accumulated stolen time. The thread
+// bound to the core calls this as it advances virtual time.
+func (c *Core) DrainStolen() int64 {
+	s := c.stolenNs
+	c.stolenNs = 0
+	return s
+}
+
+// Machine is a set of cores arranged in sockets.
+type Machine struct {
+	SocketsN       int
+	CoresPerSocket int
+	cores          []*Core
+}
+
+// NewMachine builds a machine with the given shape. The paper's testbed is
+// NewMachine(2, 28): dual-socket Xeon 6348 with 28 cores per socket.
+func NewMachine(sockets, coresPerSocket int) *Machine {
+	if sockets < 1 || coresPerSocket < 1 {
+		panic(fmt.Sprintf("topo: invalid machine %dx%d", sockets, coresPerSocket))
+	}
+	m := &Machine{SocketsN: sockets, CoresPerSocket: coresPerSocket}
+	for s := 0; s < sockets; s++ {
+		for c := 0; c < coresPerSocket; c++ {
+			m.cores = append(m.cores, &Core{
+				ID:     CoreID(s*coresPerSocket + c),
+				Socket: s,
+			})
+		}
+	}
+	return m
+}
+
+// NumCores returns the total core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Core returns the core with the given ID.
+func (m *Machine) Core(id CoreID) *Core {
+	if int(id) < 0 || int(id) >= len(m.cores) {
+		panic(fmt.Sprintf("topo: core %d out of range [0,%d)", id, len(m.cores)))
+	}
+	return m.cores[id]
+}
+
+// Cores returns all cores in ID order.
+func (m *Machine) Cores() []*Core { return m.cores }
+
+// SameSocket reports whether two cores share a socket.
+func (m *Machine) SameSocket(a, b CoreID) bool {
+	return m.Core(a).Socket == m.Core(b).Socket
+}
+
+// Placement assigns application threads and dedicated eviction threads to
+// cores.
+type Placement struct {
+	App     []CoreID // core of app thread i
+	Evictor []CoreID // core of evictor thread j
+}
+
+// Place assigns appThreads application threads to the lowest-numbered
+// cores (filling socket 0 before socket 1, matching OpenMP's default
+// compact binding — this is what produces the paper's cross-socket
+// inflection at 28 threads) and evictors to the highest-numbered cores so
+// that dedicated eviction threads do not share cores with the application
+// whenever enough cores exist.
+func (m *Machine) Place(appThreads, evictors int) Placement {
+	n := m.NumCores()
+	var pl Placement
+	for i := 0; i < appThreads; i++ {
+		pl.App = append(pl.App, CoreID(i%n))
+	}
+	for j := 0; j < evictors; j++ {
+		pl.Evictor = append(pl.Evictor, CoreID(n-1-(j%n)))
+	}
+	return pl
+}
+
+// AppCoresOf returns the distinct cores occupied by application threads in
+// the placement, in ascending order. TLB shootdowns must target these.
+func (pl Placement) AppCoresOf() []CoreID {
+	seen := make(map[CoreID]bool)
+	var out []CoreID
+	for _, c := range pl.App {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	// App cores are assigned in ascending order already; keep stable.
+	return out
+}

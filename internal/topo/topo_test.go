@@ -1,0 +1,134 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMachineShape(t *testing.T) {
+	m := NewMachine(2, 28)
+	if m.NumCores() != 56 {
+		t.Fatalf("NumCores = %d, want 56", m.NumCores())
+	}
+	if m.Core(0).Socket != 0 || m.Core(27).Socket != 0 {
+		t.Errorf("cores 0..27 should be socket 0")
+	}
+	if m.Core(28).Socket != 1 || m.Core(55).Socket != 1 {
+		t.Errorf("cores 28..55 should be socket 1")
+	}
+}
+
+func TestInvalidMachinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMachine(0, 4)
+}
+
+func TestCoreOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMachine(1, 4).Core(4)
+}
+
+func TestSameSocket(t *testing.T) {
+	m := NewMachine(2, 2)
+	if !m.SameSocket(0, 1) {
+		t.Error("0 and 1 share socket 0")
+	}
+	if m.SameSocket(1, 2) {
+		t.Error("1 and 2 are on different sockets")
+	}
+}
+
+func TestStealDrain(t *testing.T) {
+	c := &Core{}
+	c.Steal(100)
+	c.Steal(50)
+	if got := c.DrainStolen(); got != 150 {
+		t.Errorf("DrainStolen = %d, want 150", got)
+	}
+	if got := c.DrainStolen(); got != 0 {
+		t.Errorf("second DrainStolen = %d, want 0", got)
+	}
+	if c.StolenTotalNs != 150 {
+		t.Errorf("StolenTotalNs = %d, want 150", c.StolenTotalNs)
+	}
+	if c.IRQs != 2 {
+		t.Errorf("IRQs = %d, want 2", c.IRQs)
+	}
+}
+
+func TestPlaceCompactBinding(t *testing.T) {
+	m := NewMachine(2, 28)
+	pl := m.Place(48, 4)
+	if len(pl.App) != 48 || len(pl.Evictor) != 4 {
+		t.Fatalf("placement sizes: %d app, %d evictors", len(pl.App), len(pl.Evictor))
+	}
+	// First 28 app threads fill socket 0.
+	for i := 0; i < 28; i++ {
+		if m.Core(pl.App[i]).Socket != 0 {
+			t.Errorf("app thread %d on socket %d, want 0", i, m.Core(pl.App[i]).Socket)
+		}
+	}
+	for i := 28; i < 48; i++ {
+		if m.Core(pl.App[i]).Socket != 1 {
+			t.Errorf("app thread %d on socket %d, want 1", i, m.Core(pl.App[i]).Socket)
+		}
+	}
+	// Evictors occupy the top cores, disjoint from the 48 app cores.
+	appCores := map[CoreID]bool{}
+	for _, c := range pl.App {
+		appCores[c] = true
+	}
+	for j, c := range pl.Evictor {
+		if appCores[c] {
+			t.Errorf("evictor %d shares core %d with an app thread", j, c)
+		}
+	}
+}
+
+func TestPlaceOversubscription(t *testing.T) {
+	m := NewMachine(1, 4)
+	pl := m.Place(8, 2)
+	// App threads wrap around.
+	if pl.App[4] != 0 || pl.App[7] != 3 {
+		t.Errorf("wrap-around placement wrong: %v", pl.App)
+	}
+	cores := pl.AppCoresOf()
+	if len(cores) != 4 {
+		t.Errorf("AppCoresOf = %v, want 4 distinct cores", cores)
+	}
+}
+
+func TestAppCoresOfDistinctAndSorted(t *testing.T) {
+	f := func(threadsRaw, coresRaw uint8) bool {
+		threads := int(threadsRaw%64) + 1
+		cores := int(coresRaw%16) + 1
+		m := NewMachine(1, cores)
+		pl := m.Place(threads, 0)
+		got := pl.AppCoresOf()
+		seen := map[CoreID]bool{}
+		prev := CoreID(-1)
+		for _, c := range got {
+			if seen[c] || c <= prev {
+				return false
+			}
+			seen[c] = true
+			prev = c
+		}
+		want := threads
+		if want > cores {
+			want = cores
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

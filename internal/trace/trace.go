@@ -1,0 +1,154 @@
+// Package trace records simulation events and exports them in the Chrome
+// trace-event JSON format (chrome://tracing, Perfetto), giving the same
+// visibility into fault/eviction interleavings that kernel developers get
+// from ftrace on the real systems.
+//
+// Tracing is optional and zero-cost when disabled: a nil *Recorder
+// records nothing.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Phase is the Chrome trace-event phase.
+type Phase string
+
+const (
+	// PhaseComplete is a duration event ("X").
+	PhaseComplete Phase = "X"
+	// PhaseInstant is a point event ("i").
+	PhaseInstant Phase = "i"
+	// PhaseCounter is a counter sample ("C").
+	PhaseCounter Phase = "C"
+)
+
+// Event is one trace record. Times are virtual nanoseconds.
+type Event struct {
+	Name  string
+	Cat   string
+	Phase Phase
+	TS    int64 // start, ns
+	Dur   int64 // duration, ns (PhaseComplete only)
+	PID   int   // process lane (we use: 0=app, 1=eviction, 2=net)
+	TID   int   // thread within the lane
+	Args  map[string]any
+}
+
+// Lanes for PID.
+const (
+	LaneApp = iota
+	LaneEviction
+	LaneNet
+)
+
+// Recorder accumulates events. A nil Recorder ignores all calls.
+type Recorder struct {
+	events []Event
+	limit  int
+}
+
+// New returns a recorder that keeps at most limit events (0 = 1<<20).
+func New(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{limit: limit}
+}
+
+// Add appends an event (dropped silently past the limit or on nil r).
+func (r *Recorder) Add(e Event) {
+	if r == nil || len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Span records a completed duration event.
+func (r *Recorder) Span(name, cat string, pid, tid int, start, end int64, args map[string]any) {
+	r.Add(Event{Name: name, Cat: cat, Phase: PhaseComplete,
+		TS: start, Dur: end - start, PID: pid, TID: tid, Args: args})
+}
+
+// Instant records a point event.
+func (r *Recorder) Instant(name, cat string, pid, tid int, ts int64) {
+	r.Add(Event{Name: name, Cat: cat, Phase: PhaseInstant, TS: ts, PID: pid, TID: tid})
+}
+
+// Counter records a counter sample.
+func (r *Recorder) Counter(name string, ts int64, values map[string]any) {
+	r.Add(Event{Name: name, Phase: PhaseCounter, TS: ts, Args: values})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// chromeEvent is the wire format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON exports the trace as a Chrome trace-event array, sorted by
+// timestamp.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "[]")
+		return err
+	}
+	evs := make([]Event, len(r.events))
+	copy(evs, r.events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	out := make([]chromeEvent, len(evs))
+	for i, e := range evs {
+		out[i] = chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   string(e.Phase),
+			TS:   float64(e.TS) / 1e3,
+			Dur:  float64(e.Dur) / 1e3,
+			PID:  e.PID,
+			TID:  e.TID,
+			Args: e.Args,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary returns per-(category, name) counts and total duration — a
+// cheap sanity view without a trace viewer.
+func (r *Recorder) Summary() map[string]struct {
+	Count int
+	DurNs int64
+} {
+	out := make(map[string]struct {
+		Count int
+		DurNs int64
+	})
+	if r == nil {
+		return out
+	}
+	for _, e := range r.events {
+		k := fmt.Sprintf("%s/%s", e.Cat, e.Name)
+		s := out[k]
+		s.Count++
+		s.DurNs += e.Dur
+		out[k] = s
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Event{Name: "x"})
+	r.Span("a", "b", 0, 0, 0, 10, nil)
+	r.Instant("i", "c", 0, 0, 5)
+	r.Counter("n", 1, nil)
+	if r.Len() != 0 {
+		t.Fatal("nil recorder recorded something")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "[]" {
+		t.Errorf("nil recorder JSON = %q", buf.String())
+	}
+	if len(r.Summary()) != 0 {
+		t.Error("nil summary non-empty")
+	}
+}
+
+func TestRecordAndExport(t *testing.T) {
+	r := New(0)
+	r.Span("fault", "fp", LaneApp, 3, 1000, 5000, map[string]any{"page": 42})
+	r.Instant("kick", "ep", LaneEviction, 0, 1500)
+	r.Span("evict-batch", "ep", LaneEviction, 1, 2000, 9000, nil)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("exported %d events", len(evs))
+	}
+	// Sorted by timestamp; microsecond conversion.
+	if evs[0]["name"] != "fault" || evs[0]["ts"].(float64) != 1.0 {
+		t.Errorf("first event = %v", evs[0])
+	}
+	if evs[0]["dur"].(float64) != 4.0 {
+		t.Errorf("duration = %v, want 4µs", evs[0]["dur"])
+	}
+	if evs[1]["name"] != "kick" {
+		t.Errorf("order wrong: %v", evs[1])
+	}
+}
+
+func TestLimitDropsExcess(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 10; i++ {
+		r.Instant("e", "c", 0, 0, int64(i))
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := New(0)
+	r.Span("fault", "fp", 0, 0, 0, 100, nil)
+	r.Span("fault", "fp", 0, 1, 50, 250, nil)
+	r.Instant("kick", "ep", 1, 0, 60)
+	s := r.Summary()
+	if got := s["fp/fault"]; got.Count != 2 || got.DurNs != 300 {
+		t.Errorf("fp/fault = %+v", got)
+	}
+	if got := s["ep/kick"]; got.Count != 1 {
+		t.Errorf("ep/kick = %+v", got)
+	}
+}

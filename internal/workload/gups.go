@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"math/rand"
+
+	"mage/internal/core"
+	"mage/internal/sim"
+)
+
+// GUPSParams sizes the modified-GUPS workload (§6.2): Zipf-distributed
+// random updates over one region (80 % of the WSS), then a phase change
+// that shifts all accesses to the remaining 20 %.
+type GUPSParams struct {
+	// Pages is the total working-set size in pages (paper: 32 GB).
+	Pages uint64
+	// UpdatesPerThread is the total update count per thread.
+	UpdatesPerThread int
+	// PhaseSplit is the fraction of updates before the phase change.
+	PhaseSplit float64
+	// HotFrac is the fraction of WSS used by the first phase (0.8).
+	HotFrac float64
+	// Theta is the Zipf skew of update addresses.
+	Theta float64
+	// ComputePerUpdate is the CPU cost per update.
+	ComputePerUpdate sim.Time
+}
+
+// DefaultGUPS returns a scaled-down configuration.
+func DefaultGUPS() GUPSParams {
+	return GUPSParams{
+		Pages:            1 << 15,
+		UpdatesPerThread: 12000,
+		PhaseSplit:       0.5,
+		HotFrac:          0.8,
+		Theta:            0.99,
+		ComputePerUpdate: 250,
+	}
+}
+
+// GUPS is the phase-changing random-update workload.
+type GUPS struct {
+	p       GUPSParams
+	regionA region // first-phase working set (HotFrac of WSS)
+	regionB region // second-phase working set
+}
+
+// NewGUPS lays out the two regions.
+func NewGUPS(p GUPSParams) *GUPS {
+	var l layout
+	w := &GUPS{p: p}
+	aPages := uint64(float64(p.Pages) * p.HotFrac)
+	if aPages == 0 {
+		aPages = 1
+	}
+	if aPages >= p.Pages {
+		aPages = p.Pages - 1
+	}
+	w.regionA = l.addPages(aPages)
+	w.regionB = l.addPages(p.Pages - aPages)
+	return w
+}
+
+// Name implements Workload.
+func (w *GUPS) Name() string { return "gups" }
+
+// NumPages implements Workload.
+func (w *GUPS) NumPages() uint64 { return w.regionA.pages + w.regionB.pages }
+
+// Streams implements Workload.
+func (w *GUPS) Streams(threads int, seed int64) []core.AccessStream {
+	out := make([]core.AccessStream, threads)
+	for t := 0; t < threads; t++ {
+		rng := rand.New(rand.NewSource(seed + int64(t)*104729))
+		zipfA := NewScrambled(int64(w.regionA.pages), w.p.Theta)
+		zipfB := NewScrambled(int64(w.regionB.pages), w.p.Theta)
+		switchAt := int(float64(w.p.UpdatesPerThread) * w.p.PhaseSplit)
+		done := 0
+		out[t] = core.FuncStream(func() (core.Access, bool) {
+			if done >= w.p.UpdatesPerThread {
+				return core.Access{}, false
+			}
+			var pg uint64
+			if done < switchAt {
+				pg = w.regionA.pageIdx(uint64(zipfA.Next(rng)))
+			} else {
+				pg = w.regionB.pageIdx(uint64(zipfB.Next(rng)))
+			}
+			done++
+			return core.Access{Page: pg, Write: true, Compute: w.p.ComputePerUpdate}, true
+		})
+	}
+	return out
+}

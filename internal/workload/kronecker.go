@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Graph is a directed graph in CSR (compressed sparse row) form.
+type Graph struct {
+	NumVertices int
+	// Offsets has NumVertices+1 entries; vertex v's out-neighbors are
+	// Neighbors[Offsets[v]:Offsets[v+1]].
+	Offsets   []int64
+	Neighbors []int32
+}
+
+// Degree returns vertex v's out-degree.
+func (g *Graph) Degree(v int32) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int64 { return g.Offsets[g.NumVertices] }
+
+// KroneckerParams configures the R-MAT/Kronecker generator the GAP
+// Benchmark Suite uses (Graph500 defaults A=0.57, B=0.19, C=0.19).
+type KroneckerParams struct {
+	Scale      int // 2^Scale vertices
+	EdgeFactor int // edges per vertex
+	A, B, C    float64
+	Seed       int64
+}
+
+// DefaultKronecker returns Graph500 parameters at the given scale.
+func DefaultKronecker(scale, edgeFactor int, seed int64) KroneckerParams {
+	return KroneckerParams{
+		Scale: scale, EdgeFactor: edgeFactor,
+		A: 0.57, B: 0.19, C: 0.19,
+		Seed: seed,
+	}
+}
+
+// GenerateKronecker builds a Kronecker graph in CSR form: the synthetic
+// dataset the paper uses for GapBS PageRank (Table 1: "1.5B edges, 41.7M
+// vertices", scaled down here via the Scale parameter).
+func GenerateKronecker(p KroneckerParams) *Graph {
+	n := 1 << uint(p.Scale)
+	m := int64(n) * int64(p.EdgeFactor)
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	type edge struct{ u, v int32 }
+	edges := make([]edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		var u, v int
+		for bit := 0; bit < p.Scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < p.A:
+				// top-left: neither bit set
+			case r < p.A+p.B:
+				v |= 1 << uint(bit)
+			case r < p.A+p.B+p.C:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		edges = append(edges, edge{int32(u), int32(v)})
+	}
+	// Permute vertex labels so degree is not correlated with ID (GAPBS
+	// does the same to defeat trivial locality).
+	perm := rng.Perm(n)
+	for i := range edges {
+		edges[i].u = int32(perm[edges[i].u])
+		edges[i].v = int32(perm[edges[i].v])
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+
+	g := &Graph{
+		NumVertices: n,
+		Offsets:     make([]int64, n+1),
+		Neighbors:   make([]int32, len(edges)),
+	}
+	for i, e := range edges {
+		g.Offsets[e.u+1]++
+		g.Neighbors[i] = e.v
+	}
+	for v := 1; v <= n; v++ {
+		g.Offsets[v] += g.Offsets[v-1]
+	}
+	return g
+}

@@ -1,0 +1,24 @@
+package workload
+
+// Entry describes one application in the paper's Table 1.
+type Entry struct {
+	Category       string
+	Application    string
+	Dataset        string
+	Size           string // the paper's full-scale dataset size
+	Characteristic string
+}
+
+// Table1 returns the application catalog the evaluation uses, matching
+// the paper's Table 1 (datasets are scaled down at run time via each
+// workload's Params).
+func Table1() []Entry {
+	return []Entry{
+		{"Throughput-bound", "GapBS", "Kronecker", "1.5B Edges, 41.7M Vertices", "Random graph"},
+		{"Throughput-bound", "XSBench", "Nuclide and unionized grid", "355 Nuclides and 10.6m gridpoints", "Random grid"},
+		{"Throughput-bound", "Sequential Scan", "Synthetic", "20GB", "Prefetchable scan"},
+		{"Throughput-bound", "Gups", "Synthetic", "32GB", "Phase changing random"},
+		{"Throughput-bound", "Metis", "Wikipedia English", "30GB", "Phase changing map reduce"},
+		{"Latency-critical", "Memcached", "Facebook's USR like", "21M KV Pairs", "In-memory KV Store"},
+	}
+}

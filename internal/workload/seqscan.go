@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"mage/internal/core"
+	"mage/internal/sim"
+)
+
+// SeqScanParams sizes the sequential-scan microbenchmark: a dataframe-
+// style checksum over a large buffer equally sharded among threads
+// (§6.2, "regular access patterns" — the ideal case for prefetching).
+type SeqScanParams struct {
+	// Pages is the buffer size in pages (paper: 20 GB).
+	Pages uint64
+	// Iterations is how many passes each thread makes over its shard.
+	Iterations int
+	// ComputePerPage is the checksum cost per 4 KB page.
+	ComputePerPage sim.Time
+}
+
+// DefaultSeqScan returns a scaled-down scan.
+func DefaultSeqScan() SeqScanParams {
+	return SeqScanParams{Pages: 1 << 15, Iterations: 1, ComputePerPage: 1500}
+}
+
+// SeqScan is the prefetchable sequential workload.
+type SeqScan struct {
+	p   SeqScanParams
+	buf region
+}
+
+// NewSeqScan lays out the buffer.
+func NewSeqScan(p SeqScanParams) *SeqScan {
+	var l layout
+	w := &SeqScan{p: p}
+	w.buf = l.addPages(p.Pages)
+	return w
+}
+
+// Name implements Workload.
+func (w *SeqScan) Name() string { return "seqscan" }
+
+// NumPages implements Workload.
+func (w *SeqScan) NumPages() uint64 { return w.buf.pages }
+
+// Streams implements Workload: thread i scans pages
+// [i·P/T, (i+1)·P/T) in order, Iterations times.
+func (w *SeqScan) Streams(threads int, seed int64) []core.AccessStream {
+	out := make([]core.AccessStream, threads)
+	for t := 0; t < threads; t++ {
+		lo, hi := shard(int(w.p.Pages), threads, t)
+		iter, pg := 0, lo
+		out[t] = core.FuncStream(func() (core.Access, bool) {
+			if pg >= hi {
+				iter++
+				pg = lo
+			}
+			if iter >= w.p.Iterations {
+				return core.Access{}, false
+			}
+			a := core.Access{Page: w.buf.base + uint64(pg), Compute: w.p.ComputePerPage}
+			pg++
+			return a, true
+		})
+	}
+	return out
+}

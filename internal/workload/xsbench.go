@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math/rand"
+
+	"mage/internal/core"
+	"mage/internal/sim"
+)
+
+// XSBenchParams sizes the XSBench workload: Monte Carlo neutron-transport
+// macroscopic cross-section lookups over a unionized energy grid (the
+// paper's dataset: 355 nuclides, 10.6 M gridpoints, ~15 GB — dominated by
+// the gridpoint × nuclide index matrix).
+type XSBenchParams struct {
+	Gridpoints int
+	Nuclides   int
+	// LookupsPerThread is the number of macro-XS lookups each thread
+	// performs.
+	LookupsPerThread int
+	// NuclidesPerLookup is how many nuclide cross-section tables one
+	// lookup touches (the material's constituent nuclides; fuel
+	// materials in XSBench average ~12 touched pages' worth).
+	NuclidesPerLookup int
+	// LookupCompute is the total CPU cost of one macro-XS lookup in ns
+	// (binary search + per-nuclide interpolation; 0 = calibrated
+	// default). XSBench does far more arithmetic per page touch than
+	// GapBS, which is why its far-memory curve is gentler (§6.2).
+	LookupCompute sim.Time
+}
+
+const xsDefaultLookupCompute = 5000
+
+// DefaultXSBench returns a scaled-down configuration.
+func DefaultXSBench() XSBenchParams {
+	return XSBenchParams{
+		Gridpoints:        1 << 15,
+		Nuclides:          64,
+		LookupsPerThread:  4000,
+		NuclidesPerLookup: 12,
+	}
+}
+
+func (p *XSBenchParams) lookupCompute() sim.Time {
+	if p.LookupCompute > 0 {
+		return p.LookupCompute
+	}
+	return xsDefaultLookupCompute
+}
+
+// XSBench models the unionized-grid lookup: each lookup binary-searches
+// the energy grid (small and hot), reads the gridpoint's index row
+// (random pages in the dominant matrix), then reads several nuclide
+// tables at the energy-dependent offset (random pages in a mid-sized
+// region).
+type XSBench struct {
+	p      XSBenchParams
+	energy region // unionized energy grid (sorted doubles; hot)
+	index  region // gridpoint × nuclide index matrix (dominant)
+	xs     region // per-nuclide cross-section tables
+	total  uint64
+}
+
+// NewXSBench lays out the address space.
+func NewXSBench(p XSBenchParams) *XSBench {
+	var l layout
+	w := &XSBench{p: p}
+	w.energy = l.add(int64(p.Gridpoints) * 8)
+	w.index = l.add(int64(p.Gridpoints) * int64(p.Nuclides) * 4)
+	w.xs = l.add(int64(p.Gridpoints) * int64(p.Nuclides) / 2) // condensed tables
+	w.total = l.next
+	return w
+}
+
+// Name implements Workload.
+func (w *XSBench) Name() string { return "xsbench" }
+
+// NumPages implements Workload.
+func (w *XSBench) NumPages() uint64 { return w.total }
+
+// AccessesPerLookup returns the page touches per macro-XS lookup.
+func (w *XSBench) AccessesPerLookup() int { return 4 + w.p.NuclidesPerLookup }
+
+// Streams implements Workload.
+func (w *XSBench) Streams(threads int, seed int64) []core.AccessStream {
+	out := make([]core.AccessStream, threads)
+	for t := 0; t < threads; t++ {
+		rng := rand.New(rand.NewSource(seed + int64(t)*7919))
+		out[t] = w.threadStream(rng)
+	}
+	return out
+}
+
+func (w *XSBench) threadStream(rng *rand.Rand) core.AccessStream {
+	done := 0
+	var pending []core.Access
+	pos := 0
+	per := sim.Time(int64(w.p.lookupCompute()) / int64(w.AccessesPerLookup()))
+	refill := func() bool {
+		if done >= w.p.LookupsPerThread {
+			return false
+		}
+		done++
+		pending = pending[:0]
+		pos = 0
+		gp := rng.Int63n(int64(w.p.Gridpoints))
+		// Binary search over the energy grid: the upper levels stay
+		// cached; the final probes touch ~2 grid pages (hot region).
+		pending = append(pending,
+			core.Access{Page: w.energy.page(gp * 8 / 2), Compute: per},
+			core.Access{Page: w.energy.page(gp * 8), Compute: per},
+		)
+		// The gridpoint's index row: Nuclides × 4 B, spanning pages of
+		// the dominant matrix.
+		rowOff := gp * int64(w.p.Nuclides) * 4
+		pending = append(pending,
+			core.Access{Page: w.index.page(rowOff), Compute: per},
+			core.Access{Page: w.index.page(rowOff + int64(w.p.Nuclides)*4 - 1), Compute: per},
+		)
+		// The material's nuclide tables at the energy-dependent offset.
+		for k := 0; k < w.p.NuclidesPerLookup; k++ {
+			nuc := rng.Int63n(int64(w.p.Nuclides))
+			off := nuc*int64(w.p.Gridpoints)/2 + gp/2
+			pending = append(pending, core.Access{Page: w.xs.page(off), Compute: per})
+		}
+		return true
+	}
+	return core.FuncStream(func() (core.Access, bool) {
+		if pos >= len(pending) {
+			if !refill() {
+				return core.Access{}, false
+			}
+		}
+		a := pending[pos]
+		pos++
+		return a, true
+	})
+}
