@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet magevet test magecheck fmt check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Determinism lint for the DES core; see DESIGN.md §7.
+magevet:
+	$(GO) run ./cmd/magevet ./...
+
+test:
+	$(GO) test ./...
+
+# Runtime invariant checks compiled in via the magecheck build tag.
+magecheck:
+	$(GO) test -race -tags magecheck ./internal/...
+
+fmt:
+	gofmt -l .
+
+check: build vet magevet test magecheck

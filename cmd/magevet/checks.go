@@ -1,0 +1,273 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Check names, as printed in diagnostics and matched by fixture tests.
+const (
+	checkRangeMap   = "rangemap"   // range over a map in a simulation package
+	checkWallClock  = "wallclock"  // wall-clock time under internal/
+	checkGlobalRand = "globalrand" // global math/rand source under internal/
+	checkGoroutine  = "goroutine"  // go statement in a DES package
+	checkSyncImport = "syncimport" // sync / sync/atomic import in a DES package
+	checkFloatCmp   = "floatcmp"   // float ==/!= in cost/metric code
+	checkBadAllow   = "badallow"   // magevet:ok comment without a reason
+)
+
+// desPackages are the discrete-event-simulation packages (module-relative)
+// that must stay single-threaded virtual-time code: no goroutines, no host
+// sync primitives, no map-iteration order reaching engine state.
+var desPackages = map[string]bool{
+	"internal/sim":       true,
+	"internal/core":      true,
+	"internal/pgtable":   true,
+	"internal/tlbsim":    true,
+	"internal/apic":      true,
+	"internal/nic":       true,
+	"internal/memnode":   true,
+	"internal/swapspace": true,
+	"internal/buddy":     true,
+	"internal/lru":       true,
+	"internal/palloc":    true,
+	"internal/prefetch":  true,
+	"internal/invariant": true,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// seeded generators rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// wallClockFuncs are the time-package calls that read or depend on the
+// host clock; simulation code must use sim.Time exclusively.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// diagnostic is one finding.
+type diagnostic struct {
+	pos   token.Position
+	check string
+	msg   string
+}
+
+func (d diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.pos.Filename, d.pos.Line, d.pos.Column, d.check, d.msg)
+}
+
+// analyzer runs the determinism checks over loaded packages.
+type analyzer struct {
+	l     *loader
+	diags []diagnostic
+}
+
+func (a *analyzer) report(pos token.Pos, check, format string, args ...any) {
+	a.diags = append(a.diags, diagnostic{
+		pos:   a.l.fset.Position(pos),
+		check: check,
+		msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// relPath strips the module prefix from an import path.
+func (a *analyzer) relPath(importPath string) string {
+	if importPath == a.l.module {
+		return ""
+	}
+	return strings.TrimPrefix(importPath, a.l.module+"/")
+}
+
+// analyze runs every applicable check on one package.
+func (a *analyzer) analyze(p *pkgInfo) {
+	rel := a.relPath(p.ImportPath)
+	isInternal := strings.HasPrefix(rel, "internal/")
+	isDES := desPackages[rel]
+
+	for _, f := range p.Files {
+		fileName := filepath.Base(a.l.fset.Position(f.Pos()).Filename)
+		floatCmpFile := rel == "internal/stats" ||
+			(rel == "internal/core" && (fileName == "costs.go" || fileName == "metrics.go"))
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if isInternal {
+					a.checkRangeOverMap(p, n)
+				}
+			case *ast.CallExpr:
+				if isInternal {
+					a.checkNondeterministicCall(p, n)
+				}
+			case *ast.GoStmt:
+				if isDES {
+					a.report(n.Pos(), checkGoroutine,
+						"go statement in DES package %s: simulation code must be single-threaded virtual-time", rel)
+				}
+			case *ast.ImportSpec:
+				if isDES {
+					a.checkSyncImportSpec(n, rel)
+				}
+			case *ast.BinaryExpr:
+				if floatCmpFile && (n.Op == token.EQL || n.Op == token.NEQ) {
+					a.checkFloatCompare(p, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkRangeOverMap flags range statements whose operand is a map: the
+// iteration order is randomized per run and leaks nondeterminism into any
+// state it touches.
+func (a *analyzer) checkRangeOverMap(p *pkgInfo, rs *ast.RangeStmt) {
+	tv, ok := p.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+		a.report(rs.Pos(), checkRangeMap,
+			"range over map %s: iteration order is nondeterministic", types.ExprString(rs.X))
+	}
+}
+
+// checkNondeterministicCall flags wall-clock reads and draws from the
+// global math/rand source.
+func (a *analyzer) checkNondeterministicCall(p *pkgInfo, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := p.Info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			a.report(call.Pos(), checkWallClock,
+				"time.%s reads the host clock: simulation code must use virtual time (sim.Time)", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[sel.Sel.Name] {
+			a.report(call.Pos(), checkGlobalRand,
+				"rand.%s draws from the global source: thread a seeded *rand.Rand from config", sel.Sel.Name)
+		}
+	}
+}
+
+// checkSyncImportSpec flags host synchronization imports inside DES
+// packages, where exactly one process runs at a time by construction.
+func (a *analyzer) checkSyncImportSpec(spec *ast.ImportSpec, rel string) {
+	path, err := strconv.Unquote(spec.Path.Value)
+	if err != nil {
+		return
+	}
+	if path == "sync" || path == "sync/atomic" {
+		a.report(spec.Pos(), checkSyncImport,
+			"import %q in DES package %s: virtual-time code needs no host synchronization", path, rel)
+	}
+}
+
+// checkFloatCompare flags exact float equality in cost/metric code, where
+// it is almost always a reassociation-fragile bug.
+func (a *analyzer) checkFloatCompare(p *pkgInfo, e *ast.BinaryExpr) {
+	isFloat := func(x ast.Expr) bool {
+		tv, ok := p.Info.Types[x]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	if isFloat(e.X) || isFloat(e.Y) {
+		a.report(e.Pos(), checkFloatCmp,
+			"float %s comparison: compare against an epsilon or restructure", e.Op)
+	}
+}
+
+// allowlist records the lines carrying a //magevet:ok comment per file.
+type allowlist map[string]map[int]bool
+
+// collectAllowlist scans a package's comments for //magevet:ok markers. A
+// marker must carry a reason; bare markers are themselves reported.
+func (a *analyzer) collectAllowlist(p *pkgInfo, al allowlist) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "magevet:ok")
+				if !ok {
+					continue
+				}
+				pos := a.l.fset.Position(c.Pos())
+				if strings.TrimSpace(rest) == "" {
+					a.report(c.Pos(), checkBadAllow, "magevet:ok needs a reason: //magevet:ok <why this site is safe>")
+					continue
+				}
+				if al[pos.Filename] == nil {
+					al[pos.Filename] = make(map[int]bool)
+				}
+				al[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+}
+
+// filterAllowed drops diagnostics audited with a magevet:ok comment on the
+// same line or the line directly above.
+func filterAllowed(diags []diagnostic, al allowlist) []diagnostic {
+	var out []diagnostic
+	for _, d := range diags {
+		if d.check != checkBadAllow {
+			lines := al[d.pos.Filename]
+			if lines != nil && (lines[d.pos.Line] || lines[d.pos.Line-1]) {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// sortDiags orders diagnostics by file, then position, for stable output.
+func sortDiags(diags []diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].pos, diags[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantDiagnostics parses the fixture tree's "// want <check>..." comments
+// into the set of expected findings, keyed by file:line.
+func wantDiagnostics(t *testing.T, root string) map[string][]string {
+	t.Helper()
+	want := make(map[string][]string)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			_, marker, ok := strings.Cut(sc.Text(), "// want ")
+			if !ok {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", path, line)
+			want[key] = append(want[key], strings.Fields(marker)...)
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestFixtures checks the analyzer against the expected-diagnostic
+// comments in testdata/mage: every want comment must be matched by
+// exactly the named checks, and no unexpected findings may appear.
+func TestFixtures(t *testing.T) {
+	const root = "testdata/mage"
+	diags, nerrs := analyzeRoots([]string{root + "/..."}, nil, os.Stderr)
+	if nerrs > 0 {
+		t.Fatalf("%d load error(s) analyzing fixtures", nerrs)
+	}
+
+	got := make(map[string][]string)
+	for _, d := range diags {
+		rel, err := filepath.Rel(mustGetwd(t), d.pos.Filename)
+		if err != nil {
+			rel = d.pos.Filename
+		}
+		key := fmt.Sprintf("%s:%d", rel, d.pos.Line)
+		got[key] = append(got[key], d.check)
+	}
+
+	want := wantDiagnostics(t, root)
+	for key, checks := range want {
+		sort.Strings(checks)
+		g := append([]string(nil), got[key]...)
+		sort.Strings(g)
+		if strings.Join(g, " ") != strings.Join(checks, " ") {
+			t.Errorf("%s: got checks %v, want %v", key, g, checks)
+		}
+		delete(got, key)
+	}
+	for key, checks := range got {
+		t.Errorf("%s: unexpected finding(s) %v", key, checks)
+	}
+}
+
+func mustGetwd(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+// TestRunExitCodes drives the command entry point: the fixture tree must
+// fail with exit 1, and an empty argument list must scan nothing extra.
+func TestRunExitCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./testdata/mage/..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run on fixtures = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing findings summary: %q", stderr.String())
+	}
+}
+
+// TestRepoIsClean locks in the repo-wide guarantee: the live tree has no
+// magevet findings, under both build-tag variants.
+func TestRepoIsClean(t *testing.T) {
+	for _, tags := range []string{"", "magecheck"} {
+		args := []string{"../../..."}
+		if tags != "" {
+			args = append([]string{"-tags", tags}, args...)
+		}
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Errorf("run(tags=%q) = %d, want 0\nstdout:\n%s\nstderr:\n%s",
+				tags, code, &stdout, &stderr)
+		}
+	}
+}
+
+// TestBadFlagExits ensures flag errors surface as load failures.
+func TestBadFlagExits(t *testing.T) {
+	if code := run([]string{"-nosuchflag"}, io.Discard, io.Discard); code != 2 {
+		t.Fatalf("run with bad flag = %d, want 2", code)
+	}
+}

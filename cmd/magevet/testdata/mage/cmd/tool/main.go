@@ -1,0 +1,16 @@
+// Command tool is a magevet fixture for code outside internal/: the
+// determinism rules do not apply here at all.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now(), rand.Intn(10))
+	for k, v := range map[string]int{"a": 1} {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,3 @@
+module mage
+
+go 1.22

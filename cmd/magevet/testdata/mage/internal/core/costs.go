@@ -1,0 +1,18 @@
+// Package core is a magevet fixture for the floatcmp check: exact float
+// equality is flagged in costs.go and metrics.go only.
+package core
+
+// SameCost compares two cost figures exactly — flagged.
+func SameCost(a, b float64) bool {
+	return a == b // want floatcmp
+}
+
+// DiffCost is the != spelling — also flagged.
+func DiffCost(a, b float32) bool {
+	return a != b // want floatcmp
+}
+
+// SamePages compares integers — never flagged.
+func SamePages(a, b int) bool {
+	return a == b
+}

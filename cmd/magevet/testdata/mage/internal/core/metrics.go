@@ -1,0 +1,6 @@
+package core
+
+// ZeroRate tests a float against a literal — flagged in metrics.go.
+func ZeroRate(r float64) bool {
+	return r == 0 // want floatcmp
+}

@@ -1,0 +1,7 @@
+package core
+
+// ExactSplit holds float equality in a file the floatcmp check does not
+// cover — not flagged.
+func ExactSplit(f float64) bool {
+	return f == 0.5
+}

@@ -1,0 +1,43 @@
+// Package sim is a magevet fixture standing in for a DES-core package.
+// Lines carrying a want comment must produce exactly the named
+// diagnostics; every other line must be clean.
+package sim
+
+import (
+	"sync"        // want syncimport
+	"sync/atomic" // want syncimport
+)
+
+var mu sync.Mutex
+
+var counter int64
+
+// Run exercises the goroutine and rangemap checks.
+func Run(procs map[string]int) int {
+	go func() { // want goroutine
+		mu.Lock()
+		defer mu.Unlock()
+		atomic.AddInt64(&counter, 1)
+	}()
+
+	total := 0
+	for _, n := range procs { // want rangemap
+		total += n
+	}
+
+	// A reasoned marker silences the finding entirely.
+	for name := range procs { //magevet:ok fixture: names are discarded, order cannot matter
+		_ = name
+	}
+
+	// A bare marker is itself a finding and silences nothing.
+	for name := range procs { /*magevet:ok*/ // want rangemap badallow
+		_ = name
+	}
+
+	// Slice iteration is always fine.
+	for i, v := range []int{1, 2, 3} {
+		total += i * v
+	}
+	return total
+}

@@ -1,0 +1,8 @@
+// Package stats is a magevet fixture: every file in internal/stats is
+// covered by the floatcmp check.
+package stats
+
+// IsExactMean is flagged anywhere in this package.
+func IsExactMean(m, want float64) bool {
+	return m == want // want floatcmp
+}

@@ -1,0 +1,27 @@
+// Package workload is a magevet fixture for a simulation-adjacent
+// internal package: wall-clock and global-rand rules apply, but the DES
+// concurrency rules (goroutine, syncimport) do not.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the host clock twice — both calls flagged.
+func Stamp() int64 {
+	start := time.Now()    // want wallclock
+	d := time.Since(start) // want wallclock
+	return int64(d)
+}
+
+// Draw uses the global rand source — flagged; the constructor is not.
+func Draw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) + rand.Intn(10) // want globalrand
+}
+
+// Spawn is legal here: workload generators are not DES packages.
+func Spawn(f func()) {
+	go f()
+}

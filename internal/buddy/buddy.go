@@ -9,7 +9,11 @@
 // bottleneck) or in the per-CPU caching layers of package palloc.
 package buddy
 
-import "fmt"
+import (
+	"fmt"
+
+	"mage/internal/invariant"
+)
 
 // MaxOrder is the largest supported block order (2^10 = 1024 frames,
 // matching Linux's MAX_ORDER-1 = 10).
@@ -29,6 +33,7 @@ type Allocator struct {
 	freeSet   [MaxOrder + 1]map[Frame]struct{} // authoritative free-block membership
 	blockOrd  map[Frame]int                    // allocated block -> order
 	freeCount int
+	ops       uint64 // mutation count, drives periodic magecheck validation
 }
 
 // New returns an allocator managing numFrames frames, all initially free.
@@ -112,6 +117,9 @@ func (a *Allocator) Alloc(order int) (Frame, bool) {
 	}
 	a.blockOrd[blk] = order
 	a.freeCount -= 1 << order
+	if invariant.Enabled {
+		a.checkConservation()
+	}
 	return blk, true
 }
 
@@ -142,7 +150,26 @@ func (a *Allocator) Free(blk Frame) {
 		order++
 	}
 	a.push(order, blk)
+	if invariant.Enabled {
+		a.checkConservation()
+	}
 }
+
+// checkConservation runs cheap bounds checks on every mutation and the
+// full conservation/no-overlap validation every 512th, when built with
+// -tags magecheck.
+func (a *Allocator) checkConservation() {
+	invariant.Assert(a.freeCount >= 0 && a.freeCount <= a.numFrames,
+		"buddy: free count %d outside [0,%d]", a.freeCount, a.numFrames)
+	a.ops++
+	if a.ops&511 == 0 {
+		invariant.Check(a.checkInvariants())
+	}
+}
+
+// CheckInvariants validates block conservation, alignment, and
+// no-overlap across the free lists and allocated blocks.
+func (a *Allocator) CheckInvariants() error { return a.checkInvariants() }
 
 // FreePage frees a single frame previously returned by AllocPage.
 func (a *Allocator) FreePage(f Frame) { a.Free(f) }
@@ -165,7 +192,7 @@ func (a *Allocator) checkInvariants() error {
 		return nil
 	}
 	for o, blocks := range a.freeSet {
-		for f := range blocks {
+		for f := range blocks { //magevet:ok validation only: order affects at most which violation is reported first
 			if int(f)%(1<<o) != 0 {
 				return fmt.Errorf("free block %d misaligned for order %d", f, o)
 			}
@@ -178,7 +205,7 @@ func (a *Allocator) checkInvariants() error {
 	if total != a.freeCount {
 		return fmt.Errorf("freeCount %d != free-list total %d", a.freeCount, total)
 	}
-	for f, o := range a.blockOrd {
+	for f, o := range a.blockOrd { //magevet:ok validation only: order affects at most which violation is reported first
 		if err := add(f, o, "allocated"); err != nil {
 			return err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mage/internal/buddy"
+	"mage/internal/invariant"
 	"mage/internal/lru"
 	"mage/internal/nic"
 	"mage/internal/sim"
@@ -275,6 +276,9 @@ func (s *System) reclaim(p *sim.Proc, core topo.CoreID, eb *ebatch) {
 	}
 	s.Alloc.FreeBatch(p, core, frames)
 	s.inflight -= len(eb.victims)
+	if invariant.Enabled {
+		s.checkAccounting()
+	}
 	s.EvictedPages.Add(uint64(len(eb.victims)))
 	if s.Trace != nil {
 		s.Trace.Instant(fmt.Sprintf("reclaim-%d", len(eb.victims)), "ep",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mage/internal/invariant"
 	"mage/internal/sim"
 )
 
@@ -55,6 +56,9 @@ type Metrics struct {
 
 // Snapshot collects metrics; elapsed is used for rate computations.
 func (s *System) Snapshot(elapsed sim.Time) Metrics {
+	if invariant.Enabled {
+		s.checkAccounting()
+	}
 	m := Metrics{
 		System:       s.Cfg.Name,
 		MajorFaults:  s.MajorFaults.Value(),

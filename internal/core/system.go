@@ -5,6 +5,7 @@ import (
 
 	"mage/internal/apic"
 	"mage/internal/buddy"
+	"mage/internal/invariant"
 	"mage/internal/lru"
 	"mage/internal/nic"
 	"mage/internal/palloc"
@@ -199,6 +200,24 @@ func (s *System) evictionDeficit() int {
 
 // kickEvictors wakes eviction threads.
 func (s *System) kickEvictors() { s.evictKick.Broadcast() }
+
+// checkAccounting asserts the cross-module frame-conservation invariants
+// when built with -tags magecheck. Frames mid-transition (allocated but
+// not yet installed, or unmapped but not yet freed) are neither free nor
+// resident, so the conservation laws are inequalities except at quiescence.
+func (s *System) checkAccounting() {
+	invariant.Assert(s.inflight >= 0, "core: inflight count %d negative", s.inflight)
+	resident := s.AS.Resident()
+	invariant.Assert(resident <= s.Cfg.LocalMemPages,
+		"core: %d resident pages exceed %d local frames", resident, s.Cfg.LocalMemPages)
+	invariant.Assert(s.Alloc.FreeFrames()+resident <= s.Cfg.LocalMemPages,
+		"core: free %d + resident %d exceed %d local frames",
+		s.Alloc.FreeFrames(), resident, s.Cfg.LocalMemPages)
+	if s.Acct != nil {
+		invariant.Assert(s.Acct.Len() <= resident,
+			"core: accounting tracks %d pages but only %d are resident", s.Acct.Len(), resident)
+	}
+}
 
 // Stop shuts down background eviction threads once the workload is done.
 func (s *System) Stop() {

@@ -1,0 +1,83 @@
+package invariant_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"mage/internal/experiments"
+	"mage/internal/sim"
+	"mage/internal/workload"
+)
+
+// determinismScale is a deliberately small configuration: the double-run
+// test cares about bit-reproducibility, not statistical fidelity, so the
+// cheapest full-pipeline run is the right one.
+func determinismScale() experiments.Scale {
+	sc := experiments.Quick()
+	sc.Threads = 8
+	sc.RegressionThreads = 4
+	sc.Offloads = []float64{0.3, 0.6}
+	sc.ThreadSweep = []int{4, 8}
+	sc.GapBS = workload.GapBSParams{Scale: 11, EdgeFactor: 12, Iterations: 1, BytesPerVertex: 16, Seed: 42}
+	sc.XS = workload.XSBenchParams{Gridpoints: 1 << 11, Nuclides: 12, LookupsPerThread: 200, NuclidesPerLookup: 3}
+	sc.Seq = workload.SeqScanParams{Pages: 4 << 10, Iterations: 1, ComputePerPage: 1500}
+	sc.Gups = workload.GUPSParams{Pages: 4 << 10, UpdatesPerThread: 800, PhaseSplit: 0.5,
+		HotFrac: 0.8, Theta: 0.99, ComputePerUpdate: 250}
+	sc.Metis = workload.MetisParams{InputPages: 2 << 10, IntermediatePages: 1 << 10,
+		OutputPages: 256, EmitsPerInputPage: 1, MapCompute: 900, ReduceCompute: 700}
+	sc.MC = workload.MemcachedParams{Keys: 1 << 13, ValueBytes: 256, Theta: 0.99,
+		GetFraction: 0.998, ComputePerOp: 1500}
+	sc.MicroPagesPerThread = 400
+	sc.MCLoads = []float64{0.2e6}
+	sc.MCFixedLoad = 0.3e6
+	sc.MCDuration = 4 * sim.Millisecond
+	sc.Seed = 7
+	return sc
+}
+
+// digest renders every table both as aligned text and as CSV and hashes
+// the bytes: any divergence in row order, cell formatting, or metric
+// values changes the digest.
+func digest(tables []*experiments.Table) string {
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		tb.Print(&buf)
+		if err := tb.WriteCSV(&buf); err != nil {
+			panic(err)
+		}
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// TestExperimentsDeterministic runs experiments from the registry twice
+// with the same seed and requires byte-identical rendered output. This is
+// the property magevet's static checks exist to protect: same seed, same
+// configuration, same bytes.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double-runs full experiments; skipped in -short mode")
+	}
+	// One lock-contention experiment (fault path + eviction pipeline) and
+	// one accounting-design sweep: together they cross every simulation
+	// package the invariant layer hooks.
+	for _, id := range []string{"fig7", "extacct"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			runner, err := experiments.Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := determinismScale()
+			first := digest(runner(sc))
+			second := digest(runner(sc))
+			if first != second {
+				t.Fatalf("experiment %s is nondeterministic: run 1 digest %s, run 2 digest %s",
+					id, first, second)
+			}
+		})
+	}
+}

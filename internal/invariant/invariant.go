@@ -1,0 +1,35 @@
+//go:build magecheck
+
+// Package invariant provides build-tag-gated runtime assertion helpers
+// for the simulation core. With the `magecheck` tag the hot paths verify
+// cross-module invariants (PTE state legality, TLB coherence, allocator
+// conservation, accounting sizes) and panic on the first violation;
+// without it Enabled is a compile-time false and every guarded block is
+// eliminated, so production runs pay nothing.
+//
+// Call sites gate on the constant so argument evaluation is also elided
+// in unchecked builds:
+//
+//	if invariant.Enabled {
+//		invariant.Assert(resident >= 0, "resident %d < 0", resident)
+//	}
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = true
+
+// Assert panics when cond is false.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// Check panics when err is non-nil.
+func Check(err error) {
+	if err != nil {
+		panic("invariant: " + err.Error())
+	}
+}

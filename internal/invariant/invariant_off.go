@@ -1,0 +1,14 @@
+//go:build !magecheck
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. It is a
+// compile-time false here, so `if invariant.Enabled { ... }` blocks are
+// dead-code-eliminated along with their argument evaluation.
+const Enabled = false
+
+// Assert is a no-op without the magecheck build tag.
+func Assert(bool, string, ...any) {}
+
+// Check is a no-op without the magecheck build tag.
+func Check(error) {}

@@ -19,6 +19,7 @@
 package lru
 
 import (
+	"mage/internal/invariant"
 	"mage/internal/sim"
 	"mage/internal/topo"
 )
@@ -61,6 +62,46 @@ func DefaultCosts() Costs {
 	return Costs{InsertHold: 90, ScanPerPage: 45, IsolateHold: 150}
 }
 
+// tracker is a magecheck-only membership set enforcing the package
+// invariant: a tracked page lives in exactly one list (or is held by the
+// evictor that isolated it) — never duplicated, never lost. Without the
+// magecheck build tag every method is a gated no-op.
+type tracker struct {
+	in map[uint64]struct{}
+}
+
+// insert records a page entering the design's lists.
+func (t *tracker) insert(page uint64) {
+	if !invariant.Enabled {
+		return
+	}
+	if t.in == nil {
+		t.in = make(map[uint64]struct{})
+	}
+	_, dup := t.in[page]
+	invariant.Assert(!dup, "lru: page %d tracked twice", page)
+	t.in[page] = struct{}{}
+}
+
+// isolate records a page leaving the lists for an evictor.
+func (t *tracker) isolate(page uint64) {
+	if !invariant.Enabled {
+		return
+	}
+	_, ok := t.in[page]
+	invariant.Assert(ok, "lru: isolated page %d was never tracked", page)
+	delete(t.in, page)
+}
+
+// checkLen asserts the design's reported size against the tracked set.
+func (t *tracker) checkLen(name string, length int) {
+	if !invariant.Enabled {
+		return
+	}
+	invariant.Assert(length == len(t.in),
+		"lru: %s reports %d pages but tracker holds %d", name, length, len(t.in))
+}
+
 // fifo is an amortized O(1) queue of page numbers.
 type fifo struct {
 	buf  []uint64
@@ -89,6 +130,7 @@ type Global struct {
 	mu    *sim.Mutex
 	q     fifo
 	costs Costs
+	trk   tracker
 }
 
 // NewGlobal returns the global-list design.
@@ -104,6 +146,7 @@ func (g *Global) Insert(p *sim.Proc, _ topo.CoreID, page uint64) {
 	g.mu.Lock(p)
 	p.Sleep(g.costs.InsertHold)
 	g.q.push(page)
+	g.trk.insert(page)
 	g.mu.Unlock(p)
 }
 
@@ -112,7 +155,10 @@ func (g *Global) Requeue(p *sim.Proc, core topo.CoreID, page uint64) {
 }
 
 // InsertRaw implements Accounting.
-func (g *Global) InsertRaw(_ topo.CoreID, page uint64) { g.q.push(page) }
+func (g *Global) InsertRaw(_ topo.CoreID, page uint64) {
+	g.q.push(page)
+	g.trk.insert(page)
+}
 
 func (g *Global) IsolateBatch(p *sim.Proc, _ int, max int) []uint64 {
 	g.mu.Lock(p)
@@ -123,9 +169,11 @@ func (g *Global) IsolateBatch(p *sim.Proc, _ int, max int) []uint64 {
 		if !ok {
 			break
 		}
+		g.trk.isolate(pg)
 		out = append(out, pg)
 	}
 	p.Sleep(sim.Time(len(out)) * g.costs.ScanPerPage)
+	g.trk.checkLen(g.Name(), g.Len())
 	g.mu.Unlock(p)
 	return out
 }
@@ -137,6 +185,7 @@ type Partitioned struct {
 	costs  Costs
 	cursor []int // per-evictor round-robin scan position
 	reqRR  int   // round-robin target for requeued (reactivated) pages
+	trk    tracker
 }
 
 // NewPartitioned returns lists independent lists served by up to lists
@@ -183,6 +232,7 @@ func (pt *Partitioned) Insert(p *sim.Proc, core topo.CoreID, page uint64) {
 	pt.mus[i].Lock(p)
 	p.Sleep(pt.costs.InsertHold)
 	pt.qs[i].push(page)
+	pt.trk.insert(page)
 	pt.mus[i].Unlock(p)
 }
 
@@ -196,12 +246,14 @@ func (pt *Partitioned) Requeue(p *sim.Proc, _ topo.CoreID, page uint64) {
 	pt.mus[i].Lock(p)
 	p.Sleep(pt.costs.InsertHold)
 	pt.qs[i].push(page)
+	pt.trk.insert(page)
 	pt.mus[i].Unlock(p)
 }
 
 // InsertRaw implements Accounting.
 func (pt *Partitioned) InsertRaw(core topo.CoreID, page uint64) {
 	pt.qs[pt.listFor(core)].push(page)
+	pt.trk.insert(page)
 }
 
 // IsolateBatch scans from the evictor's cursor, moving to the next list
@@ -226,12 +278,14 @@ func (pt *Partitioned) IsolateBatch(p *sim.Proc, evictor int, max int) []uint64 
 			if !ok {
 				break
 			}
+			pt.trk.isolate(pg)
 			out = append(out, pg)
 			taken++
 		}
 		p.Sleep(sim.Time(taken) * pt.costs.ScanPerPage)
 		pt.mus[i].Unlock(p)
 	}
+	pt.trk.checkLen(pt.Name(), pt.Len())
 	return out
 }
 
@@ -242,6 +296,7 @@ type PerCPUFIFO struct {
 	qs     []fifo
 	costs  Costs
 	cursor []int
+	trk    tracker
 }
 
 // NewPerCPUFIFO returns one queue per core, scanned by up to evictors
@@ -285,6 +340,7 @@ func (f *PerCPUFIFO) Insert(p *sim.Proc, core topo.CoreID, page uint64) {
 	f.mus[i].Lock(p)
 	p.Sleep(f.costs.InsertHold)
 	f.qs[i].push(page)
+	f.trk.insert(page)
 	f.mus[i].Unlock(p)
 }
 
@@ -295,6 +351,7 @@ func (f *PerCPUFIFO) Requeue(p *sim.Proc, core topo.CoreID, page uint64) {
 // InsertRaw implements Accounting.
 func (f *PerCPUFIFO) InsertRaw(core topo.CoreID, page uint64) {
 	f.qs[int(core)%len(f.qs)].push(page)
+	f.trk.insert(page)
 }
 
 func (f *PerCPUFIFO) IsolateBatch(p *sim.Proc, evictor int, max int) []uint64 {
@@ -314,11 +371,13 @@ func (f *PerCPUFIFO) IsolateBatch(p *sim.Proc, evictor int, max int) []uint64 {
 			if !ok {
 				break
 			}
+			f.trk.isolate(pg)
 			out = append(out, pg)
 			taken++
 		}
 		p.Sleep(sim.Time(taken) * f.costs.ScanPerPage)
 		f.mus[i].Unlock(p)
 	}
+	f.trk.checkLen(f.Name(), f.Len())
 	return out
 }

@@ -1,6 +1,7 @@
 package lru
 
 import (
+	"mage/internal/invariant"
 	"mage/internal/sim"
 	"mage/internal/topo"
 )
@@ -35,6 +36,8 @@ type S3FIFO struct {
 	// that skipped the small queue.
 	Promotions uint64
 	GhostHits  uint64
+
+	trk tracker
 }
 
 // NewS3FIFO builds the design; ghostCap bounds the ghost ring (typically
@@ -73,6 +76,7 @@ func (s *S3FIFO) Insert(p *sim.Proc, core topo.CoreID, page uint64) {
 func (s *S3FIFO) InsertRaw(_ topo.CoreID, page uint64) { s.insertLocked(page) }
 
 func (s *S3FIFO) insertLocked(page uint64) {
+	s.trk.insert(page)
 	if _, hit := s.ghost[page]; hit {
 		delete(s.ghost, page)
 		s.main.push(page)
@@ -92,6 +96,7 @@ func (s *S3FIFO) Requeue(p *sim.Proc, _ topo.CoreID, page uint64) {
 	}
 	delete(s.origin, page)
 	s.main.push(page)
+	s.trk.insert(page)
 	s.mu.Unlock(p)
 }
 
@@ -104,6 +109,7 @@ func (s *S3FIFO) IsolateBatch(p *sim.Proc, _ int, max int) []uint64 {
 	for len(out) < max {
 		if pg, ok := s.small.pop(); ok {
 			s.origin[pg] = true
+			s.trk.isolate(pg)
 			out = append(out, pg)
 			continue
 		}
@@ -112,9 +118,11 @@ func (s *S3FIFO) IsolateBatch(p *sim.Proc, _ int, max int) []uint64 {
 			break
 		}
 		s.origin[pg] = false
+		s.trk.isolate(pg)
 		out = append(out, pg)
 	}
 	p.Sleep(sim.Time(len(out)) * s.costs.ScanPerPage)
+	s.trk.checkLen(s.Name(), s.Len())
 	s.mu.Unlock(p)
 	return out
 }
@@ -134,6 +142,10 @@ func (s *S3FIFO) OnEvicted(page uint64) {
 	}
 	s.ghost[page] = struct{}{}
 	s.ghostFIFO.push(page)
+	if invariant.Enabled {
+		invariant.Assert(len(s.ghost) <= s.ghostCap,
+			"s3fifo: ghost ring holds %d entries, cap %d", len(s.ghost), s.ghostCap)
+	}
 }
 
 // GhostTracker is implemented by accounting designs that want to observe

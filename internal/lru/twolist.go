@@ -21,6 +21,8 @@ type TwoList struct {
 	// Promotions and Demotions count list crossings.
 	Promotions uint64
 	Demotions  uint64
+
+	trk tracker
 }
 
 // NewTwoList returns the active/inactive design.
@@ -42,11 +44,15 @@ func (tl *TwoList) Insert(p *sim.Proc, _ topo.CoreID, page uint64) {
 	tl.mu.Lock(p)
 	p.Sleep(tl.costs.InsertHold)
 	tl.inactive.push(page)
+	tl.trk.insert(page)
 	tl.mu.Unlock(p)
 }
 
 // InsertRaw implements Accounting.
-func (tl *TwoList) InsertRaw(_ topo.CoreID, page uint64) { tl.inactive.push(page) }
+func (tl *TwoList) InsertRaw(_ topo.CoreID, page uint64) {
+	tl.inactive.push(page)
+	tl.trk.insert(page)
+}
 
 // Requeue implements Accounting: a second-chance survivor was referenced
 // since deactivation — promote it to the active list.
@@ -54,6 +60,7 @@ func (tl *TwoList) Requeue(p *sim.Proc, _ topo.CoreID, page uint64) {
 	tl.mu.Lock(p)
 	p.Sleep(tl.costs.InsertHold)
 	tl.active.push(page)
+	tl.trk.insert(page)
 	tl.Promotions++
 	tl.mu.Unlock(p)
 }
@@ -82,9 +89,11 @@ func (tl *TwoList) IsolateBatch(p *sim.Proc, _ int, max int) []uint64 {
 		if !ok {
 			break
 		}
+		tl.trk.isolate(pg)
 		out = append(out, pg)
 	}
 	p.Sleep(sim.Time(len(out)) * tl.costs.ScanPerPage)
+	tl.trk.checkLen(tl.Name(), tl.Len())
 	tl.mu.Unlock(p)
 	return out
 }

@@ -22,8 +22,8 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sync"
-	"sync/atomic"
+	"sync"        //magevet:ok memnode is a real TCP daemon, not virtual-time simulation code
+	"sync/atomic" //magevet:ok memnode is a real TCP daemon, not virtual-time simulation code
 )
 
 // Opcodes.
@@ -84,7 +84,7 @@ func NewServer(addr string, capacity int64) (*Server, error) {
 		capacity: capacity,
 	}
 	s.wg.Add(1)
-	go s.acceptLoop()
+	go s.acceptLoop() //magevet:ok real network daemon: one accept loop per server
 	return s, nil
 }
 
@@ -107,6 +107,7 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		s.wg.Add(1)
+		//magevet:ok real network daemon: one handler goroutine per connection
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"mage/internal/buddy"
+	"mage/internal/invariant"
 	"mage/internal/sim"
 	"mage/internal/stats"
 )
@@ -149,6 +150,11 @@ func New(eng *sim.Engine, numPages uint64, model LockModel, shards int, costs Co
 		ptes:     make([]PTE, numPages),
 		model:    model,
 		costs:    costs,
+	}
+	// A remote page owns no frame; the Frame zero value is a valid index,
+	// so entries must start at NilFrame explicitly.
+	for i := range as.ptes {
+		as.ptes[i].Frame = buddy.NilFrame
 	}
 	switch model {
 	case LockGlobal:
@@ -294,12 +300,18 @@ func (as *AddressSpace) BeginFault(p *sim.Proc, page uint64) FaultDisposition {
 		case StateRemote:
 			pte.State = StateFaulting
 			p.Sleep(as.costs.Update)
+			if invariant.Enabled {
+				as.checkPTE(page)
+			}
 			unlock(p, mu)
 			as.Faults.Inc()
 			return FaultFetch
 		case StateZeroFill:
 			pte.State = StateFaulting
 			p.Sleep(as.costs.Update)
+			if invariant.Enabled {
+				as.checkPTE(page)
+			}
 			unlock(p, mu)
 			as.Faults.Inc()
 			return FaultFetchZero
@@ -334,6 +346,9 @@ func (as *AddressSpace) CompleteFault(p *sim.Proc, page uint64, frame buddy.Fram
 		pte.waiters.Broadcast()
 		pte.waiters = nil
 	}
+	if invariant.Enabled {
+		as.checkPTE(page)
+	}
 	unlock(p, mu)
 }
 
@@ -363,6 +378,9 @@ func (as *AddressSpace) TryUnmap(p *sim.Proc, page uint64, honorAccessed bool) U
 	}
 	pte.State = StateEvicting
 	p.Sleep(as.costs.Update)
+	if invariant.Enabled {
+		as.checkPTE(page)
+	}
 	return UnmapResult{OK: true, Frame: pte.Frame, Dirty: pte.Dirty}
 }
 
@@ -380,6 +398,9 @@ func (as *AddressSpace) AbortFault(p *sim.Proc, page uint64) {
 	if pte.waiters != nil {
 		pte.waiters.Broadcast()
 		pte.waiters = nil
+	}
+	if invariant.Enabled {
+		as.checkPTE(page)
 	}
 	unlock(p, mu)
 }
@@ -400,6 +421,9 @@ func (as *AddressSpace) AbortEvict(p *sim.Proc, page uint64) {
 		pte.waiters.Broadcast()
 		pte.waiters = nil
 	}
+	if invariant.Enabled {
+		as.checkPTE(page)
+	}
 	unlock(p, mu)
 }
 
@@ -414,12 +438,16 @@ func (as *AddressSpace) CompleteEvict(p *sim.Proc, page uint64) {
 	}
 	pte.State = StateRemote
 	pte.Frame = buddy.NilFrame
+	pte.Accessed = false
 	pte.Dirty = false
 	p.Sleep(as.costs.Update)
 	as.resident--
 	if pte.waiters != nil {
 		pte.waiters.Broadcast()
 		pte.waiters = nil
+	}
+	if invariant.Enabled {
+		as.checkPTE(page)
 	}
 	unlock(p, mu)
 }
@@ -436,6 +464,9 @@ func (as *AddressSpace) InstallRaw(page uint64, frame buddy.Frame) {
 	pte.Frame = frame
 	pte.Accessed = true
 	as.resident++
+	if invariant.Enabled {
+		as.checkPTE(page)
+	}
 }
 
 // MarkZeroFill marks remote pages [start, end) as never-populated
@@ -448,6 +479,27 @@ func (as *AddressSpace) MarkZeroFill(start, end uint64) {
 		}
 		pte.State = StateZeroFill
 	}
+}
+
+// checkPTE validates one entry against the PTE state machine: a present
+// or evicting page owns exactly one frame; a remote, zero-fill, or
+// faulting page owns none and carries no stale accessed/dirty bits
+// (dirty ⇒ present∨evicting, accessed ⇒ present∨evicting). Called from
+// every state transition when built with -tags magecheck.
+func (as *AddressSpace) checkPTE(page uint64) {
+	pte := &as.ptes[page]
+	switch pte.State {
+	case StatePresent, StateEvicting:
+		invariant.Assert(pte.Frame != buddy.NilFrame,
+			"pgtable: page %d %v without a frame", page, pte.State)
+	default:
+		invariant.Assert(pte.Frame == buddy.NilFrame,
+			"pgtable: page %d %v owns frame %d", page, pte.State, pte.Frame)
+		invariant.Assert(!pte.Dirty, "pgtable: page %d dirty while %v", page, pte.State)
+		invariant.Assert(!pte.Accessed, "pgtable: page %d accessed while %v", page, pte.State)
+	}
+	invariant.Assert(as.resident >= 0 && uint64(as.resident) <= as.numPages,
+		"pgtable: resident count %d outside [0,%d]", as.resident, as.numPages)
 }
 
 // WaitQueueFor exposes the PTE's wait queue length (tests only).

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"mage/internal/invariant"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -166,7 +168,8 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	e.live++
 	e.procs[p] = struct{}{}
 	e.scheduleWake(p, e.now, wakeSleep)
-	go func() {
+	go func() { //magevet:ok coroutine hand-off: exactly one process runs at a time, resumed by the engine
+
 		r := <-p.resume
 		_ = r
 		defer func() {
@@ -225,6 +228,10 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			e.now = deadline
 			return e.now
 		}
+		if invariant.Enabled {
+			invariant.Assert(ev.at >= e.now,
+				"sim: event at t=%v dispatched after clock reached t=%v", ev.at, e.now)
+		}
 		e.now = ev.at
 		p := ev.p
 		p.pending = nil
@@ -245,7 +252,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 
 func (e *Engine) blockedNames() []string {
 	var names []string
-	for p := range e.procs {
+	for p := range e.procs { //magevet:ok names are sorted below; used only in the deadlock panic message
 		if !p.exited {
 			names = append(names, p.name)
 		}

@@ -234,8 +234,8 @@ func (b *Breakdown) Ops() uint64 { return b.ops }
 // Total returns the summed time across components.
 func (b *Breakdown) Total() int64 {
 	var t int64
-	for _, v := range b.ns {
-		t += v
+	for _, name := range b.order {
+		t += b.ns[name]
 	}
 	return t
 }

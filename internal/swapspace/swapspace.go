@@ -17,6 +17,7 @@ package swapspace
 import (
 	"fmt"
 
+	"mage/internal/invariant"
 	"mage/internal/sim"
 )
 
@@ -65,6 +66,7 @@ type GlobalSwapMap struct {
 	// scanSlots is the modeled number of bitmap slots examined per alloc
 	// (cluster hints keep this small in Linux).
 	scanSlots int
+	ops       uint64 // mutation count, drives periodic magecheck validation
 }
 
 // NewGlobalSwapMap returns a map of slots remote slots.
@@ -139,6 +141,9 @@ func (g *GlobalSwapMap) Alloc(p *sim.Proc, _ uint64) (Entry, bool) {
 	e := g.freeList[len(g.freeList)-1]
 	g.freeList = g.freeList[:len(g.freeList)-1]
 	g.used[e] = true
+	if invariant.Enabled {
+		g.checkConsistency()
+	}
 	return e, true
 }
 
@@ -161,6 +166,37 @@ func (g *GlobalSwapMap) Free(p *sim.Proc, e Entry) {
 	}
 	g.used[e] = false
 	g.freeList = append(g.freeList, e)
+	if invariant.Enabled {
+		g.checkConsistency()
+	}
+}
+
+// checkConsistency asserts cheap bounds on every mutation and cross-checks
+// the free list against the used bitmap every 1024th, when built with
+// -tags magecheck.
+func (g *GlobalSwapMap) checkConsistency() {
+	invariant.Assert(len(g.freeList) <= len(g.used),
+		"swapspace: free list holds %d entries for %d slots", len(g.freeList), len(g.used))
+	g.ops++
+	if g.ops&1023 != 0 {
+		return
+	}
+	free := 0
+	for _, u := range g.used {
+		if !u {
+			free++
+		}
+	}
+	invariant.Assert(free == len(g.freeList),
+		"swapspace: bitmap shows %d free slots but free list holds %d", free, len(g.freeList))
+	seen := make(map[Entry]struct{}, len(g.freeList))
+	for _, e := range g.freeList {
+		invariant.Assert(e >= 0 && int(e) < len(g.used), "swapspace: free-list entry %d out of range", e)
+		invariant.Assert(!g.used[e], "swapspace: free-list entry %d marked used", e)
+		_, dup := seen[e]
+		invariant.Assert(!dup, "swapspace: entry %d on free list twice", e)
+		seen[e] = struct{}{}
+	}
 }
 
 // DirectMap is the allocation-free design: remote slot = virtual page.

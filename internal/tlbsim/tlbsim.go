@@ -11,6 +11,7 @@ package tlbsim
 
 import (
 	"mage/internal/apic"
+	"mage/internal/invariant"
 	"mage/internal/sim"
 	"mage/internal/stats"
 	"mage/internal/topo"
@@ -87,9 +88,7 @@ func (t *TLB) FlushPage(page uint64) {
 
 // FlushAll empties the TLB (the cr3-write path).
 func (t *TLB) FlushAll() {
-	for k := range t.entries {
-		delete(t.entries, k)
-	}
+	clear(t.entries)
 	for i := range t.ring {
 		t.ring[i] = emptySlot
 	}
@@ -220,9 +219,34 @@ func (s *Shooter) Shootdown(p *sim.Proc, from topo.CoreID, targets []topo.CoreID
 func (s *Shooter) invalidate(t *TLB, pages []uint64) {
 	if len(pages) > s.costs.FullFlushThreshold {
 		t.FlushAll()
-		return
+	} else {
+		for _, pg := range pages {
+			t.FlushPage(pg)
+		}
 	}
+	if invariant.Enabled {
+		t.checkFlushed(pages)
+	}
+}
+
+// checkFlushed asserts that none of the just-invalidated pages are still
+// cached and that the entries map agrees with the FIFO ring; called after
+// every shootdown invalidation when built with -tags magecheck.
+func (t *TLB) checkFlushed(pages []uint64) {
 	for _, pg := range pages {
-		t.FlushPage(pg)
+		invariant.Assert(!t.Contains(pg), "tlbsim: page %d still cached after invalidation", pg)
 	}
+	invariant.Assert(len(t.entries) <= t.capacity,
+		"tlbsim: %d entries exceed capacity %d", len(t.entries), t.capacity)
+	live := 0
+	for i, pg := range t.ring {
+		if pg == emptySlot {
+			continue
+		}
+		if idx, ok := t.entries[pg]; ok && idx == i {
+			live++
+		}
+	}
+	invariant.Assert(live == len(t.entries),
+		"tlbsim: ring holds %d live entries but map holds %d", live, len(t.entries))
 }

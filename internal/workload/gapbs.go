@@ -1,8 +1,6 @@
 package workload
 
 import (
-	"math/rand"
-
 	"mage/internal/core"
 	"mage/internal/sim"
 )
@@ -197,7 +195,7 @@ func (w *GapBS) threadStream(lo, hi int) core.AccessStream {
 // reads — used by microbenchmark-style experiments that want GapBS's
 // address-space shape without full PageRank sweeps.
 func (w *GapBS) RandomScoreProbe(n int, seed int64, compute sim.Time) core.AccessStream {
-	rng := rand.New(rand.NewSource(seed))
+	rng := seedRNG(seed)
 	i := 0
 	return core.FuncStream(func() (core.Access, bool) {
 		if i >= n {

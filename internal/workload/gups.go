@@ -1,8 +1,6 @@
 package workload
 
 import (
-	"math/rand"
-
 	"mage/internal/core"
 	"mage/internal/sim"
 )
@@ -70,7 +68,7 @@ func (w *GUPS) NumPages() uint64 { return w.regionA.pages + w.regionB.pages }
 func (w *GUPS) Streams(threads int, seed int64) []core.AccessStream {
 	out := make([]core.AccessStream, threads)
 	for t := 0; t < threads; t++ {
-		rng := rand.New(rand.NewSource(seed + int64(t)*104729))
+		rng := threadRNG(seed, t, 104729)
 		zipfA := NewScrambled(int64(w.regionA.pages), w.p.Theta)
 		zipfB := NewScrambled(int64(w.regionB.pages), w.p.Theta)
 		switchAt := int(float64(w.p.UpdatesPerThread) * w.p.PhaseSplit)

@@ -1,7 +1,6 @@
 package workload
 
 import (
-	"math/rand"
 	"sort"
 )
 
@@ -46,7 +45,7 @@ func DefaultKronecker(scale, edgeFactor int, seed int64) KroneckerParams {
 func GenerateKronecker(p KroneckerParams) *Graph {
 	n := 1 << uint(p.Scale)
 	m := int64(n) * int64(p.EdgeFactor)
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := seedRNG(p.Seed)
 
 	type edge struct{ u, v int32 }
 	edges := make([]edge, 0, m)

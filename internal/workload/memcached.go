@@ -66,7 +66,7 @@ func (w *Memcached) NumPages() uint64 { return w.index.pages + w.slab.pages }
 func (w *Memcached) Streams(threads int, seed int64) []core.AccessStream {
 	out := make([]core.AccessStream, threads)
 	for t := 0; t < threads; t++ {
-		rng := rand.New(rand.NewSource(seed + int64(t)*31337))
+		rng := threadRNG(seed, t, 31337)
 		zipf := NewScrambled(w.p.Keys, w.p.Theta)
 		n := 0
 		var pend []core.Access
@@ -136,7 +136,7 @@ func (w *Memcached) RunOpenLoop(s *core.System, threads int, loadOps float64, du
 
 	// Arrival process: Poisson with mean interarrival 1/load.
 	s.Eng.Spawn("mc-arrivals", func(p *sim.Proc) {
-		rng := rand.New(rand.NewSource(seed))
+		rng := seedRNG(seed)
 		mean := 1e9 / loadOps
 		i := 0
 		for p.Now() < duration {
@@ -157,7 +157,7 @@ func (w *Memcached) RunOpenLoop(s *core.System, threads int, loadOps float64, du
 		t := t
 		s.Eng.Spawn(fmt.Sprintf("mc-server-%d", t), func(p *sim.Proc) {
 			th := s.NewThread(p, t)
-			rng := rand.New(rand.NewSource(seed + int64(t)*271828))
+			rng := threadRNG(seed, t, 271828)
 			zipf := NewScrambled(w.p.Keys, w.p.Theta)
 			var buf []core.Access
 			for {

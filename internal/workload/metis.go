@@ -1,8 +1,6 @@
 package workload
 
 import (
-	"math/rand"
-
 	"mage/internal/core"
 	"mage/internal/sim"
 )
@@ -103,7 +101,7 @@ func (w *Metis) Streams(threads int, seed int64) []core.AccessStream {
 }
 
 func (w *Metis) threadStream(threads, t int, seed int64) core.AccessStream {
-	rng := rand.New(rand.NewSource(seed + int64(t)*6151))
+	rng := threadRNG(seed, t, 6151)
 	inLo, inHi := shard(int(w.input.pages), threads, t)
 	interLo, interHi := shard(int(w.inter.pages), threads, t)
 	outLo, outHi := shard(int(w.output.pages), threads, t)

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"math/rand"
+
 	"mage/internal/core"
 	"mage/internal/sim"
 )
@@ -19,6 +21,19 @@ type Workload interface {
 	// independent generators (safe to interleave in any order).
 	Streams(threads int, seed int64) []core.AccessStream
 }
+
+// threadRNG returns the deterministic per-thread random source all
+// workloads use: thread streams must diverge from each other, and a run
+// with the same seed must reproduce the same access sequence exactly
+// (never use the global rand functions — magevet enforces this). stride
+// is a per-workload constant decorrelating stream families that share a
+// seed.
+func threadRNG(seed int64, thread int, stride int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(thread)*stride))
+}
+
+// seedRNG returns a deterministic source for single-stream generators.
+func seedRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // region is a contiguous page range in a workload's layout.
 type region struct {

@@ -84,7 +84,7 @@ func (w *XSBench) AccessesPerLookup() int { return 4 + w.p.NuclidesPerLookup }
 func (w *XSBench) Streams(threads int, seed int64) []core.AccessStream {
 	out := make([]core.AccessStream, threads)
 	for t := 0; t < threads; t++ {
-		rng := rand.New(rand.NewSource(seed + int64(t)*7919))
+		rng := threadRNG(seed, t, 7919)
 		out[t] = w.threadStream(rng)
 	}
 	return out
