@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_DATE ?= $(shell date +%F)
 
-.PHONY: all build vet magevet test magecheck fmt check
+.PHONY: all build vet magevet test magecheck fmt check bench
 
 all: check
 
@@ -23,5 +24,12 @@ magecheck:
 
 fmt:
 	gofmt -l .
+
+# Benchmark snapshot: engine dispatch + figure regeneration, recorded as
+# JSON (name, ns/op, reported metrics such as events/s) for diffing
+# across commits.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineDispatch|BenchmarkParexpFigures|BenchmarkFaultPathMageLib' ./... \
+		| tee /dev/stderr | $(GO) run ./cmd/benchsnap > BENCH_$(BENCH_DATE).json
 
 check: build vet magevet test magecheck

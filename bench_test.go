@@ -124,6 +124,31 @@ func BenchmarkExtBackends(b *testing.B)     { benchExperiment(b, "extbackend") }
 // BenchmarkClaims runs the headline-claim self-check.
 func BenchmarkClaims(b *testing.B) { benchExperiment(b, "claims") }
 
+// BenchmarkParexpFigures measures the parallel cell runner end-to-end on
+// a figure bundle: the same grids regenerated sequentially (Workers=1)
+// and with the full worker pool (Workers=0 → GOMAXPROCS). The ratio of
+// the two ns/op numbers is the wall-clock speedup; output is identical
+// either way.
+func BenchmarkParexpFigures(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		sc := benchScale()
+		sc.Workers = workers
+		for i := 0; i < b.N; i++ {
+			for _, name := range []string{"fig5", "fig7", "fig14"} {
+				r, err := experiments.Lookup(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, t := range r(sc) {
+					t.Print(io.Discard)
+				}
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
 // BenchmarkFaultPathMageLib measures the simulated fault pipeline itself:
 // host ns per simulated major fault on the full Mage^LIB stack.
 func BenchmarkFaultPathMageLib(b *testing.B) {

@@ -1,0 +1,126 @@
+// Command benchsnap converts `go test -bench` text output into a JSON
+// snapshot so benchmark history can be diffed across commits.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchsnap > BENCH_2026-01-02.json
+//
+// Every benchmark line is captured with its iteration count, ns/op, and
+// any extra metrics the benchmark reported via b.ReportMetric (e.g. the
+// engine's events/s — simulated events dispatched per host second — or
+// allocation counters from -benchmem).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the full parsed run.
+type Snapshot struct {
+	GoOS      string   `json:"goos,omitempty"`
+	GoArch    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Results   []Result `json:"results"`
+	FailLines []string `json:"fail_lines,omitempty"`
+}
+
+// parseLine parses one "BenchmarkX-8  N  12.3 ns/op  45 u/s" line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64)
+		}
+		r.Metrics[unit] = v
+	}
+	return r, true
+}
+
+// parse consumes a `go test -bench` stream.
+func parse(in io.Reader) (Snapshot, error) {
+	var snap Snapshot
+	var pkg string // most recent "pkg:" header; stamps following results
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "--- FAIL") || strings.HasPrefix(line, "FAIL"):
+			snap.FailLines = append(snap.FailLines, line)
+		default:
+			if r, ok := parseLine(line); ok {
+				r.Pkg = pkg
+				snap.Results = append(snap.Results, r)
+			}
+		}
+	}
+	return snap, sc.Err()
+}
+
+func run(in io.Reader, out, errw io.Writer) int {
+	snap, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(errw, "benchsnap:", err)
+		return 1
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprintln(errw, "benchsnap: no benchmark lines on stdin")
+		return 1
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(errw, "benchsnap:", err)
+		return 1
+	}
+	if len(snap.FailLines) > 0 {
+		fmt.Fprintf(errw, "benchsnap: %d FAIL line(s) in bench output\n", len(snap.FailLines))
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}

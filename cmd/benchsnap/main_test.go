@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: mage/internal/sim
+cpu: Intel(R) Xeon(R)
+BenchmarkEngineDispatch-8   	 3206942	       379.5 ns/op	   2635072 events/s
+BenchmarkEngineDispatchCancel-8 	 1650808	       727.4 ns/op
+ok  	mage/internal/sim	3.456s
+`
+
+func TestParseSample(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GoOS != "linux" {
+		t.Errorf("header fields wrong: %+v", snap)
+	}
+	if snap.Results[0].Pkg != "mage/internal/sim" {
+		t.Errorf("result pkg = %q, want mage/internal/sim", snap.Results[0].Pkg)
+	}
+	if len(snap.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(snap.Results))
+	}
+	r := snap.Results[0]
+	if r.Name != "BenchmarkEngineDispatch-8" || r.Iterations != 3206942 || r.NsPerOp != 379.5 {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if r.Metrics["events/s"] != 2635072 {
+		t.Errorf("events/s metric = %v, want 2635072", r.Metrics["events/s"])
+	}
+	if snap.Results[1].Metrics != nil {
+		t.Errorf("result 1 has unexpected metrics: %v", snap.Results[1].Metrics)
+	}
+}
+
+func TestRunEmitsJSONAndExitCodes(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(strings.NewReader(sample), &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, &errw)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(snap.Results) != 2 {
+		t.Errorf("round-tripped %d results, want 2", len(snap.Results))
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run(strings.NewReader("no benchmarks here\n"), &out, &errw); code != 1 {
+		t.Errorf("run on empty input = %d, want 1", code)
+	}
+
+	out.Reset()
+	errw.Reset()
+	failed := sample + "--- FAIL: TestX\nFAIL\n"
+	if code := run(strings.NewReader(failed), &out, &errw); code != 1 {
+		t.Errorf("run on failing bench output = %d, want 1", code)
+	}
+}

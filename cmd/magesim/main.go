@@ -21,10 +21,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment to run (figN, table1, table2, extN, or 'all')")
-		scale  = flag.String("scale", "quick", "workload scale: quick|full")
-		list   = flag.Bool("list", false, "list available experiments")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		exp      = flag.String("exp", "", "experiment to run (figN, table1, table2, extN, or 'all')")
+		scale    = flag.String("scale", "quick", "workload scale: quick|full")
+		list     = flag.Bool("list", false, "list available experiments")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		parallel = flag.Int("parallel", 0, "worker goroutines per experiment grid (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "magesim: unknown scale %q (quick|full)\n", *scale)
 		os.Exit(2)
 	}
+	sc.Workers = *parallel
 
 	var names []string
 	if *exp == "all" {

@@ -41,6 +41,17 @@ var desPackages = map[string]bool{
 	"internal/invariant": true,
 }
 
+// hostConcurrencyPackages are the internal packages granted a package-wide
+// allowance for host concurrency (go statements, sync imports). The grant
+// is a rule here rather than scattered //magevet:ok comments because the
+// whole package exists to run host goroutines: parexp fans independent
+// experiment cells out across workers, each on its own engine, and its
+// API is the only sanctioned bridge between host parallelism and the
+// simulation. Every other internal package stays single-threaded.
+var hostConcurrencyPackages = map[string]bool{
+	"internal/parexp": true,
+}
+
 // randConstructors are the math/rand package-level functions that build
 // seeded generators rather than drawing from the global source.
 var randConstructors = map[string]bool{
@@ -103,6 +114,9 @@ func (a *analyzer) analyze(p *pkgInfo) {
 	rel := a.relPath(p.ImportPath)
 	isInternal := strings.HasPrefix(rel, "internal/")
 	isDES := desPackages[rel]
+	// Host concurrency is banned across internal/ — not just in the DES
+	// core — except in the packages granted a package-wide allowance.
+	banConcurrency := isInternal && !hostConcurrencyPackages[rel]
 
 	for _, f := range p.Files {
 		fileName := filepath.Base(a.l.fset.Position(f.Pos()).Filename)
@@ -120,13 +134,18 @@ func (a *analyzer) analyze(p *pkgInfo) {
 					a.checkNondeterministicCall(p, n)
 				}
 			case *ast.GoStmt:
-				if isDES {
-					a.report(n.Pos(), checkGoroutine,
-						"go statement in DES package %s: simulation code must be single-threaded virtual-time", rel)
+				if banConcurrency {
+					if isDES {
+						a.report(n.Pos(), checkGoroutine,
+							"go statement in DES package %s: simulation code must be single-threaded virtual-time", rel)
+					} else {
+						a.report(n.Pos(), checkGoroutine,
+							"go statement in internal package %s: host concurrency is confined to internal/parexp", rel)
+					}
 				}
 			case *ast.ImportSpec:
-				if isDES {
-					a.checkSyncImportSpec(n, rel)
+				if banConcurrency {
+					a.checkSyncImportSpec(n, rel, isDES)
 				}
 			case *ast.BinaryExpr:
 				if floatCmpFile && (n.Op == token.EQL || n.Op == token.NEQ) {
@@ -181,16 +200,23 @@ func (a *analyzer) checkNondeterministicCall(p *pkgInfo, call *ast.CallExpr) {
 	}
 }
 
-// checkSyncImportSpec flags host synchronization imports inside DES
-// packages, where exactly one process runs at a time by construction.
-func (a *analyzer) checkSyncImportSpec(spec *ast.ImportSpec, rel string) {
+// checkSyncImportSpec flags host synchronization imports inside internal
+// packages: in the DES core exactly one process runs at a time by
+// construction, and elsewhere parallelism belongs behind internal/parexp.
+func (a *analyzer) checkSyncImportSpec(spec *ast.ImportSpec, rel string, isDES bool) {
 	path, err := strconv.Unquote(spec.Path.Value)
 	if err != nil {
 		return
 	}
-	if path == "sync" || path == "sync/atomic" {
+	if path != "sync" && path != "sync/atomic" {
+		return
+	}
+	if isDES {
 		a.report(spec.Pos(), checkSyncImport,
 			"import %q in DES package %s: virtual-time code needs no host synchronization", path, rel)
+	} else {
+		a.report(spec.Pos(), checkSyncImport,
+			"import %q in internal package %s: host synchronization is confined to internal/parexp", path, rel)
 	}
 }
 

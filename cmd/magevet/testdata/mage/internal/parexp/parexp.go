@@ -1,0 +1,30 @@
+// Package parexp is a magevet fixture pinning the package-wide host
+// concurrency allowance: go statements and sync imports carry no
+// findings here — the allowance is a rule in the checker, not a
+// scattering of magevet:ok comments. The wall-clock and global-rand
+// rules still apply (see Stamp).
+package parexp
+
+import (
+	"sync"
+	"time"
+)
+
+// Fan runs fn n times across goroutines; legal in this package only.
+func Fan(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Stamp shows the allowance is scoped to concurrency: clock reads are
+// still flagged even here.
+func Stamp() time.Time {
+	return time.Now() // want wallclock
+}

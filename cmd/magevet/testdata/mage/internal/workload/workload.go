@@ -1,6 +1,6 @@
 // Package workload is a magevet fixture for a simulation-adjacent
-// internal package: wall-clock and global-rand rules apply, but the DES
-// concurrency rules (goroutine, syncimport) do not.
+// internal package: wall-clock, global-rand, and host-concurrency rules
+// all apply — only internal/parexp holds a concurrency allowance.
 package workload
 
 import (
@@ -21,7 +21,8 @@ func Draw(seed int64) int {
 	return rng.Intn(10) + rand.Intn(10) // want globalrand
 }
 
-// Spawn is legal here: workload generators are not DES packages.
+// Spawn is flagged: host concurrency outside internal/parexp, even in
+// non-DES internal packages.
 func Spawn(f func()) {
-	go f()
+	go f() // want goroutine
 }

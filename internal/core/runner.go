@@ -180,6 +180,10 @@ func (s *System) RunWithOptions(streams []AccessStream, opts RunOptions) RunResu
 			s.Stop()
 			s.Eng.Stop()
 		}
+		// Deadline-abandoned threads (and the sampler) are parked in the
+		// engine; release their goroutines so grid sweeps do not
+		// accumulate thousands of leaked parked procs.
+		s.Eng.Shutdown()
 	} else {
 		s.Eng.Run()
 	}

@@ -26,10 +26,24 @@ func Claims(sc Scale) []*Table {
 	th := sc.Threads
 	pages := sc.MicroPagesPerThread
 
-	// Fault-only scaling at full thread count.
-	hermitFO, _ := microRun("Hermit", th, pages, 1.0, nil)
-	dilosFO, _ := microRun("DiLOS", th, pages, 1.0, nil)
-	mageFO, _ := microRun("MageLib", th, pages, 1.0, nil)
+	// The seven microbenchmark runs are independent cells.
+	type cell struct {
+		name      string
+		localFrac float64
+	}
+	cells := []cell{
+		{"Hermit", 1.0}, {"DiLOS", 1.0}, {"MageLib", 1.0},
+		{"Hermit", 0.5}, {"DiLOS", 0.5}, {"MageLib", 0.5}, {"MageLnx", 0.5},
+	}
+	type point struct {
+		mops float64
+		res  core.RunResult
+	}
+	results := runCells(sc, len(cells), func(i int) point {
+		mops, res := microRun(cells[i].name, th, pages, cells[i].localFrac, nil)
+		return point{mops, res}
+	})
+	hermitFO, dilosFO, mageFO := results[0].mops, results[1].mops, results[2].mops
 	ideal := 5.86
 
 	check("DiLOS fault-only hits ~56% of the ideal link limit",
@@ -41,10 +55,10 @@ func Claims(sc Scale) []*Table {
 		">90%", fmtPct(mageFO/ideal), mageFO/ideal > 0.85)
 
 	// Fault + eviction at 50% offload.
-	hermitEv, hermitRes := microRun("Hermit", th, pages, 0.5, nil)
-	dilosEv, _ := microRun("DiLOS", th, pages, 0.5, nil)
-	mageEv, mageRes := microRun("MageLib", th, pages, 0.5, nil)
-	lnxEv, lnxRes := microRun("MageLnx", th, pages, 0.5, nil)
+	hermitEv, hermitRes := results[3].mops, results[3].res
+	dilosEv := results[4].mops
+	mageEv, mageRes := results[5].mops, results[5].res
+	lnxEv, lnxRes := results[6].mops, results[6].res
 
 	check("eviction halves DiLOS's fault throughput",
 		"56%→30% of ideal", fmt.Sprintf("%s→%s", fmtPct(dilosFO/ideal), fmtPct(dilosEv/ideal)),

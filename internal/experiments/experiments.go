@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"mage/internal/core"
+	"mage/internal/parexp"
 	"mage/internal/sim"
 	"mage/internal/workload"
 )
@@ -106,6 +107,12 @@ type Scale struct {
 	MCDuration sim.Time
 	// Seed is the master seed.
 	Seed int64
+	// Workers caps the host goroutines regenerating a figure's cells
+	// (<= 0 means GOMAXPROCS; 1 forces the sequential reference path).
+	// Output is byte-identical at any setting: each cell runs on its own
+	// engine, seeded from the cell's identity, and results are collected
+	// in cell order. See internal/parexp.
+	Workers int
 }
 
 // Quick returns a scale suitable for tests and `go test -bench`: every
@@ -238,6 +245,16 @@ func runStreams(name string, threads int, w workload.Workload, offload float64, 
 		streams = w.Streams(threads, seed)
 	}
 	return s.RunWithOptions(streams, core.RunOptions{})
+}
+
+// runCells evaluates a figure's n grid cells — each a self-contained
+// simulation on a private engine — and returns the results in cell
+// order, fanning out across sc.Workers host goroutines. fn must derive
+// any randomness from the cell index and scale parameters only, never
+// from worker identity, so the rendered tables are byte-identical to a
+// sequential run.
+func runCells[T any](sc Scale, n int, fn func(i int) T) []T {
+	return parexp.Map(n, sc.Workers, fn)
 }
 
 func fmtF(v float64) string  { return fmt.Sprintf("%.2f", v) }

@@ -23,12 +23,21 @@ func ExtEvictors(sc Scale) []*Table {
 		Title:  "Evictor-thread sweep, Mage^LIB seq read (48 threads, 50% offload)",
 		Header: []string{"evictors", "fault Mops/s", "Rx Gbps", "free-wait ms"},
 	}
-	for _, ev := range []int{1, 2, 4, 8, 16} {
-		ev := ev
+	evictors := []int{1, 2, 4, 8, 16}
+	type point struct {
+		mops float64
+		res  core.RunResult
+	}
+	results := runCells(sc, len(evictors), func(i int) point {
+		ev := evictors[i]
 		mops, res := microRun("MageLib", sc.Threads, sc.MicroPagesPerThread, 0.5,
 			func(c *core.Config) { c.EvictorThreads = ev })
-		t.AddRow(fmt.Sprintf("%d", ev), fmtF(mops), fmtF1(res.Metrics.RxGbps),
-			fmtF(float64(res.Metrics.FreeWaitNs)/1e6))
+		return point{mops, res}
+	})
+	for i, ev := range evictors {
+		p := results[i]
+		t.AddRow(fmt.Sprintf("%d", ev), fmtF(p.mops), fmtF1(p.res.Metrics.RxGbps),
+			fmtF(float64(p.res.Metrics.FreeWaitNs)/1e6))
 	}
 	t.Notes = append(t.Notes,
 		"paper: 4 evictors saturate the 200 Gbps NIC; more only add synchronization overhead",
@@ -56,11 +65,14 @@ func ExtAccounting(sc Scale) []*Table {
 		{"per-cpu-fifo", core.AcctPerCPUFIFO},
 		{"s3fifo", core.AcctS3FIFO},
 	}
-	for _, k := range kinds {
-		k := k
-		res := runStreams("MageLib", sc.Threads,
+	results := runCells(sc, len(kinds), func(i int) core.RunResult {
+		k := kinds[i]
+		return runStreams("MageLib", sc.Threads,
 			workload.NewGapBS(sc.GapBS), 0.5, sc.Seed,
 			func(c *core.Config) { c.Accounting = k.kind })
+	})
+	for i, k := range kinds {
+		res := results[i]
 		t.AddRow(k.name, fmtF1(res.JobsPerHour()),
 			fmt.Sprintf("%d", res.Metrics.MajorFaults),
 			fmtF(float64(res.Metrics.AcctLockWaitNs)/1e6),
@@ -80,16 +92,27 @@ func ExtBackends(sc Scale) []*Table {
 		Title:  "Swap backends: GapBS at 50% offload (48 threads)",
 		Header: []string{"backend", "system", "jobs/h", "fault p99 µs", "sync evicts"},
 	}
+	type cell struct {
+		be  nic.Backend
+		sys string
+	}
+	var cells []cell
 	for _, be := range []nic.Backend{nic.BackendRDMA, nic.BackendNVMe, nic.BackendZswap} {
 		for _, sys := range []string{"Hermit", "MageLib"} {
-			be := be
-			res := runStreams(sys, sc.Threads,
-				workload.NewGapBS(sc.GapBS), 0.5, sc.Seed,
-				func(c *core.Config) { c.Backend = be })
-			t.AddRow(be.String(), sys, fmtF1(res.JobsPerHour()),
-				fmtUs(res.Metrics.FaultP99Ns),
-				fmt.Sprintf("%d", res.Metrics.SyncEvicts))
+			cells = append(cells, cell{be, sys})
 		}
+	}
+	results := runCells(sc, len(cells), func(i int) core.RunResult {
+		c := cells[i]
+		return runStreams(c.sys, sc.Threads,
+			workload.NewGapBS(sc.GapBS), 0.5, sc.Seed,
+			func(cf *core.Config) { cf.Backend = c.be })
+	})
+	for i, c := range cells {
+		res := results[i]
+		t.AddRow(c.be.String(), c.sys, fmtF1(res.JobsPerHour()),
+			fmtUs(res.Metrics.FaultP99Ns),
+			fmt.Sprintf("%d", res.Metrics.SyncEvicts))
 	}
 	t.Notes = append(t.Notes,
 		"paper conclusion: the OS-level optimizations apply to any fast swap backend; MAGE should lead on all three")

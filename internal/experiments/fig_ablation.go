@@ -64,13 +64,20 @@ func Fig17(sc Scale) []*Table {
 			Title:  app.title,
 			Header: []string{"far-mem%", "Baseline j/h", "+Pipelined j/h", "+LRU-part j/h", "+MultiLayer j/h"},
 		}
-		for _, off := range []float64{0.2, 0.4, 0.6} {
+		offs := []float64{0.2, 0.4, 0.6}
+		const steps = 4 // Baseline, +Pipelined, +LRU-part, +MultiLayer
+		jph := runCells(sc, len(offs)*steps, func(i int) float64 {
+			off, step := offs[i/steps], i%steps
 			w0 := app.mk()
 			local := localPagesFor(w0.NumPages(), off)
+			cfg := ablationSteps(sc.Threads, w0.NumPages(), local)[step]
+			res := runCfg(cfg, app.mk(), sc.Threads, sc.Seed)
+			return res.JobsPerHour()
+		})
+		for oi, off := range offs {
 			row := []string{fmtPct(off)}
-			for _, cfg := range ablationSteps(sc.Threads, w0.NumPages(), local) {
-				res := runCfg(cfg, app.mk(), sc.Threads, sc.Seed)
-				row = append(row, fmtF1(res.JobsPerHour()))
+			for step := 0; step < steps; step++ {
+				row = append(row, fmtF1(jph[oi*steps+step]))
 			}
 			t.AddRow(row...)
 		}
@@ -93,7 +100,10 @@ func Fig18(sc Scale) []*Table {
 	w := func() workload.Workload { return workload.NewGapBS(sc.GapBS) }
 	total := w().NumPages()
 	local := localPagesFor(total, 0.2)
-	for _, batch := range []int{32, 64, 128, 256, 512} {
+	batches := []int{32, 64, 128, 256, 512}
+	type point struct{ pip, seq float64 }
+	results := runCells(sc, len(batches), func(i int) point {
+		batch := batches[i]
 		pip := core.MageLib(sc.Threads, total, local)
 		pip.BatchSize = batch
 		pip.TLBBatch = batch
@@ -105,7 +115,10 @@ func Fig18(sc Scale) []*Table {
 		seq.Name = fmt.Sprintf("seq-%d", batch)
 		rp := runCfg(pip, w(), sc.Threads, sc.Seed)
 		rs := runCfg(seq, w(), sc.Threads, sc.Seed)
-		a.AddRow(fmt.Sprintf("%d", batch), fmtF1(rp.JobsPerHour()), fmtF1(rs.JobsPerHour()))
+		return point{rp.JobsPerHour(), rs.JobsPerHour()}
+	})
+	for i, batch := range batches {
+		a.AddRow(fmt.Sprintf("%d", batch), fmtF1(results[i].pip), fmtF1(results[i].seq))
 	}
 	a.Notes = append(a.Notes,
 		"paper: pipelined peaks at batch 128-256 where RDMA wait fully hides TLB latency; non-pipelined gains nothing from larger batches")
@@ -150,21 +163,27 @@ func Table2(sc Scale) []*Table {
 		{"Gups", func() workload.Workload { return workload.NewGUPS(sc.Gups) }},
 		{"Metis", func() workload.Workload { return workload.NewMetis(sc.Metis) }},
 	}
-	for _, app := range apps {
+	sysNames := []string{"Hermit", "DiLOS", "MageLib", "MageLnx"}
+	jph := runCells(sc, len(apps)*len(sysNames), func(i int) float64 {
+		app, sys := apps[i/len(sysNames)], sysNames[i%len(sysNames)]
+		res := runStreams(sys, sc.Threads, app.mk(), 0, sc.Seed, nil)
+		return res.JobsPerHour()
+	})
+	for ai, app := range apps {
 		row := []string{app.name}
-		var hermit float64
-		for _, sys := range []string{"Hermit", "DiLOS", "MageLib", "MageLnx"} {
-			res := runStreams(sys, sc.Threads, app.mk(), 0, sc.Seed, nil)
-			jph := res.JobsPerHour()
+		// The Hermit-relative deltas are derived after the fan-out, from
+		// the collected cells.
+		hermit := jph[ai*len(sysNames)]
+		for si, sys := range sysNames {
+			v := jph[ai*len(sysNames)+si]
 			if sys == "Hermit" {
-				hermit = jph
-				row = append(row, fmtF1(jph))
+				row = append(row, fmtF1(v))
 			} else {
 				rel := 0.0
 				if hermit > 0 {
-					rel = jph/hermit - 1
+					rel = v/hermit - 1
 				}
-				row = append(row, fmt.Sprintf("%s (%+.1f%%)", fmtF1(jph), rel*100))
+				row = append(row, fmt.Sprintf("%s (%+.1f%%)", fmtF1(v), rel*100))
 			}
 		}
 		row = append(row, "jobs/h")

@@ -34,13 +34,27 @@ func Fig13(sc Scale) []*Table {
 		Title:  fmt.Sprintf("Memcached p99 vs local memory (load %.0f Kops, 24 threads)", sc.MCFixedLoad/1e3),
 		Header: []string{"local%", "system", "p99 µs", "mean µs", "achieved Kops"},
 	}
+	sysNames := []string{"Hermit", "DiLOS", "MageLib", "MageLnx"}
+	type cell struct {
+		localFrac float64
+		load      float64
+		name      string
+	}
+	var aCells []cell
 	for _, localFrac := range []float64{0.9, 0.7, 0.5, 0.3} {
-		for _, name := range []string{"Hermit", "DiLOS", "MageLib", "MageLnx"} {
-			s, w, threads := mcSystem(name, sc, localFrac)
-			res := w.RunOpenLoop(s, threads, sc.MCFixedLoad, sc.MCDuration, sc.Seed)
-			a.AddRow(fmtPct(localFrac), name, fmtUs(res.P99Ns),
-				fmtF(res.MeanNs/1e3), fmtF1(res.AchievedOps/1e3))
+		for _, name := range sysNames {
+			aCells = append(aCells, cell{localFrac, sc.MCFixedLoad, name})
 		}
+	}
+	runMC := func(c cell) workload.LatencyResult {
+		s, w, threads := mcSystem(c.name, sc, c.localFrac)
+		return w.RunOpenLoop(s, threads, c.load, sc.MCDuration, sc.Seed)
+	}
+	aRes := runCells(sc, len(aCells), func(i int) workload.LatencyResult { return runMC(aCells[i]) })
+	for i, c := range aCells {
+		res := aRes[i]
+		a.AddRow(fmtPct(c.localFrac), c.name, fmtUs(res.P99Ns),
+			fmtF(res.MeanNs/1e3), fmtF1(res.AchievedOps/1e3))
 	}
 	a.Notes = append(a.Notes,
 		"paper: for a 200µs SLO Mage^LIB offloads 21% more memory than DiLOS and 36% more than Hermit; Mage^LNX reaches ~70-80%")
@@ -50,12 +64,15 @@ func Fig13(sc Scale) []*Table {
 		Title:  "Memcached p99 vs offered load (50% local memory, 24 threads)",
 		Header: []string{"load Kops", "system", "p99 µs", "achieved Kops"},
 	}
+	var bCells []cell
 	for _, load := range sc.MCLoads {
-		for _, name := range []string{"Hermit", "DiLOS", "MageLib", "MageLnx"} {
-			s, w, threads := mcSystem(name, sc, 0.5)
-			res := w.RunOpenLoop(s, threads, load, sc.MCDuration, sc.Seed)
-			b.AddRow(fmtF1(load/1e3), name, fmtUs(res.P99Ns), fmtF1(res.AchievedOps/1e3))
+		for _, name := range sysNames {
+			bCells = append(bCells, cell{0.5, load, name})
 		}
+	}
+	bRes := runCells(sc, len(bCells), func(i int) workload.LatencyResult { return runMC(bCells[i]) })
+	for i, c := range bCells {
+		b.AddRow(fmtF1(c.load/1e3), c.name, fmtUs(bRes[i].P99Ns), fmtF1(bRes[i].AchievedOps/1e3))
 	}
 	b.Notes = append(b.Notes,
 		"paper: MAGE sustains 0.64 Mops more than Hermit and 0.28 Mops more than DiLOS under a 200µs p99 SLO")

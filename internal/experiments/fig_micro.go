@@ -50,6 +50,23 @@ func microRun(name string, threads, pagesPerThread int, localFrac float64, mutat
 	return mops, res
 }
 
+// threadSysCell is one (thread count, system) grid point.
+type threadSysCell struct {
+	threads int
+	name    string
+}
+
+// sweepCells enumerates the (thread count, system) grid in row order.
+func sweepCells(threadSweep []int, systems []string) []threadSysCell {
+	cells := make([]threadSysCell, 0, len(threadSweep)*len(systems))
+	for _, th := range threadSweep {
+		for _, name := range systems {
+			cells = append(cells, threadSysCell{th, name})
+		}
+	}
+	return cells
+}
+
 // Fig5 reproduces Figure 5: fault-in-only vs fault-in-with-eviction
 // throughput as thread count grows, against the ideal 5.86 M ops/s link
 // limit.
@@ -60,12 +77,16 @@ func Fig5(sc Scale) []*Table {
 		Header: []string{"threads", "system", "fault-only", "fault+evict"},
 	}
 	idealLimit := nic.NewDefault(sim.NewEngine(), nic.StackLibOS).MaxPagesPerSecond() / 1e6
-	for _, th := range sc.ThreadSweep {
-		for _, name := range []string{"Hermit", "DiLOS", "MageLib", "MageLnx"} {
-			faultOnly, _ := microRun(name, th, sc.MicroPagesPerThread, 1.0, nil)
-			withEvict, _ := microRun(name, th, sc.MicroPagesPerThread, 0.5, nil)
-			t.AddRow(fmt.Sprintf("%d", th), name, fmtF(faultOnly), fmtF(withEvict))
-		}
+	cells := sweepCells(sc.ThreadSweep, []string{"Hermit", "DiLOS", "MageLib", "MageLnx"})
+	type point struct{ faultOnly, withEvict float64 }
+	results := runCells(sc, len(cells), func(i int) point {
+		c := cells[i]
+		faultOnly, _ := microRun(c.name, c.threads, sc.MicroPagesPerThread, 1.0, nil)
+		withEvict, _ := microRun(c.name, c.threads, sc.MicroPagesPerThread, 0.5, nil)
+		return point{faultOnly, withEvict}
+	})
+	for i, c := range cells {
+		t.AddRow(fmt.Sprintf("%d", c.threads), c.name, fmtF(results[i].faultOnly), fmtF(results[i].withEvict))
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("ideal link limit: %.2f M ops/s (paper: 5.83)", idealLimit),
@@ -80,17 +101,20 @@ func breakdownTable(id, title string, sc Scale, systems []string) *Table {
 		Title:  title,
 		Header: []string{"threads", "system", "rdma µs", "tlb µs", "acct µs", "alloc µs", "others µs", "total µs"},
 	}
-	for _, th := range []int{24, 48} {
-		for _, name := range systems {
-			_, res := microRun(name, th, sc.MicroPagesPerThread, 0.5, nil)
-			b := res.Metrics.BreakdownNs
-			total := b[core.CompRDMA] + b[core.CompTLB] + b[core.CompAcct] +
-				b[core.CompAlloc] + b[core.CompOthers]
-			t.AddRow(fmt.Sprintf("%d", th), name,
-				fmtF(b[core.CompRDMA]/1e3), fmtF(b[core.CompTLB]/1e3),
-				fmtF(b[core.CompAcct]/1e3), fmtF(b[core.CompAlloc]/1e3),
-				fmtF(b[core.CompOthers]/1e3), fmtF(total/1e3))
-		}
+	cells := sweepCells([]int{24, 48}, systems)
+	results := runCells(sc, len(cells), func(i int) core.RunResult {
+		c := cells[i]
+		_, res := microRun(c.name, c.threads, sc.MicroPagesPerThread, 0.5, nil)
+		return res
+	})
+	for i, c := range cells {
+		b := results[i].Metrics.BreakdownNs
+		total := b[core.CompRDMA] + b[core.CompTLB] + b[core.CompAcct] +
+			b[core.CompAlloc] + b[core.CompOthers]
+		t.AddRow(fmt.Sprintf("%d", c.threads), c.name,
+			fmtF(b[core.CompRDMA]/1e3), fmtF(b[core.CompTLB]/1e3),
+			fmtF(b[core.CompAcct]/1e3), fmtF(b[core.CompAlloc]/1e3),
+			fmtF(b[core.CompOthers]/1e3), fmtF(total/1e3))
 	}
 	return t
 }
@@ -123,14 +147,17 @@ func Fig7(sc Scale) []*Table {
 		Title:  "TLB shootdown and IPI delivery latency vs threads (seq read, 50% offload)",
 		Header: []string{"threads", "system", "shootdown µs", "ipi µs", "shootdowns", "ipis"},
 	}
-	for _, th := range sc.ThreadSweep {
-		for _, name := range []string{"Hermit", "DiLOS"} {
-			_, res := microRun(name, th, sc.MicroPagesPerThread, 0.5, nil)
-			m := res.Metrics
-			t.AddRow(fmt.Sprintf("%d", th), name,
-				fmtF(m.ShootdownMeanNs/1e3), fmtF(m.IPIDeliveryMeanNs/1e3),
-				fmt.Sprintf("%d", m.Shootdowns), fmt.Sprintf("%d", m.IPIsSent))
-		}
+	cells := sweepCells(sc.ThreadSweep, []string{"Hermit", "DiLOS"})
+	results := runCells(sc, len(cells), func(i int) core.RunResult {
+		c := cells[i]
+		_, res := microRun(c.name, c.threads, sc.MicroPagesPerThread, 0.5, nil)
+		return res
+	})
+	for i, c := range cells {
+		m := results[i].Metrics
+		t.AddRow(fmt.Sprintf("%d", c.threads), c.name,
+			fmtF(m.ShootdownMeanNs/1e3), fmtF(m.IPIDeliveryMeanNs/1e3),
+			fmt.Sprintf("%d", m.Shootdowns), fmt.Sprintf("%d", m.IPIsSent))
 	}
 	t.Notes = append(t.Notes,
 		"paper: IPI latency inflates ~33x from 1 to 48 threads (queueing storms); cross-socket latency kinks the curve near 28 threads")
@@ -146,9 +173,13 @@ func Fig14(sc Scale) []*Table {
 		Title:  "Seq read, 48 threads, 30% local, prefetch off",
 		Header: []string{"system", "p99 µs", "mean µs", "sync evicts", "Rx Gbps", "faults"},
 	}
-	for _, name := range []string{"Hermit", "DiLOS", "MageLib", "MageLnx"} {
-		_, res := microRun(name, sc.Threads, sc.MicroPagesPerThread, 0.3, nil)
-		m := res.Metrics
+	names := []string{"Hermit", "DiLOS", "MageLib", "MageLnx"}
+	results := runCells(sc, len(names), func(i int) core.RunResult {
+		_, res := microRun(names[i], sc.Threads, sc.MicroPagesPerThread, 0.3, nil)
+		return res
+	})
+	for i, name := range names {
+		m := results[i].Metrics
 		t.AddRow(name, fmtUs(m.FaultP99Ns), fmtF(m.FaultMeanNs/1e3),
 			fmt.Sprintf("%d", m.SyncEvicts), fmtF1(m.RxGbps),
 			fmt.Sprintf("%d", m.MajorFaults))
@@ -168,13 +199,31 @@ func Fig15(sc Scale) []*Table {
 		Header: []string{"offered Mops", "system", "achieved Mops", "p99 µs"},
 	}
 	loads := []float64{1e6, 2e6, 3e6, 4e6, 5e6}
+	type cell struct {
+		load float64
+		name string // "RawRDMA" selects the bare-NIC comparison run
+	}
+	var cells []cell
 	for _, load := range loads {
-		for _, name := range []string{"Hermit", "DiLOS", "MageLib", "MageLnx"} {
-			ach, p99 := pacedFaultRun(name, sc, load)
-			t.AddRow(fmtF(load/1e6), name, fmtF(ach/1e6), fmtUs(p99))
+		for _, name := range []string{"Hermit", "DiLOS", "MageLib", "MageLnx", "RawRDMA"} {
+			cells = append(cells, cell{load, name})
 		}
-		ach, p99 := rawRDMARun(sc, load)
-		t.AddRow(fmtF(load/1e6), "RawRDMA", fmtF(ach/1e6), fmtUs(p99))
+	}
+	type point struct {
+		ach float64
+		p99 int64
+	}
+	results := runCells(sc, len(cells), func(i int) point {
+		c := cells[i]
+		if c.name == "RawRDMA" {
+			ach, p99 := rawRDMARun(sc, c.load)
+			return point{ach, p99}
+		}
+		ach, p99 := pacedFaultRun(c.name, sc, c.load)
+		return point{ach, p99}
+	})
+	for i, c := range cells {
+		t.AddRow(fmtF(c.load/1e6), c.name, fmtF(results[i].ach/1e6), fmtUs(results[i].p99))
 	}
 	t.Notes = append(t.Notes,
 		"paper: Mage^LIB holds a flat tail across loads (allocation never stalls; FP back-pressures the NIC); raw RDMA spikes at saturation")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mage/internal/core"
+	"mage/internal/sim"
 	"mage/internal/workload"
 )
 
@@ -16,22 +17,37 @@ func offloadSweep(id, title string, sc Scale, w func() workload.Workload, system
 		Title:  title,
 		Header: append([]string{"far-mem%"}, headerPairs(systems)...),
 	}
-	base := map[string]float64{}
+	// Cell grid: one all-local baseline per system, then one cell per
+	// (offload, system) point; the 0% row reuses the baseline cells.
+	type cell struct {
+		off  float64
+		name string
+	}
+	cells := make([]cell, 0, len(systems)*(1+len(sc.Offloads)))
 	for _, name := range systems {
-		res := runStreams(name, threads, w(), 0, sc.Seed, mutate)
-		base[name] = res.JobsPerHour()
+		cells = append(cells, cell{0, name})
+	}
+	for _, off := range sc.Offloads {
+		for _, name := range systems {
+			cells = append(cells, cell{off, name})
+		}
+	}
+	cellJPH := runCells(sc, len(cells), func(i int) float64 {
+		c := cells[i]
+		res := runStreams(c.name, threads, w(), c.off, sc.Seed, mutate)
+		return res.JobsPerHour()
+	})
+	base := map[string]float64{}
+	for i, name := range systems {
+		base[name] = cellJPH[i]
 	}
 	points := append([]float64{0}, sc.Offloads...)
-	for _, off := range points {
+	for pi, off := range points {
 		row := []string{fmtPct(off)}
-		for _, name := range systems {
-			var jph float64
-			if off == 0 {
-				jph = base[name]
-			} else {
-				res := runStreams(name, threads, w(), off, sc.Seed, mutate)
-				jph = res.JobsPerHour()
-			}
+		for si, name := range systems {
+			// Row pi is the pi-th block of len(systems) cells; block 0 is
+			// the all-local baselines, which double as the 0% row.
+			jph := cellJPH[pi*len(systems)+si]
 			drop := 0.0
 			if base[name] > 0 {
 				drop = 1 - jph/base[name]
@@ -116,23 +132,38 @@ func Fig10(sc Scale) []*Table {
 	}
 	w := func() workload.Workload { return workload.NewSeqScan(sc.Seq) }
 	off := 0.1
+	type cell struct {
+		name string
+		pf   bool
+	}
+	var cells []cell
 	for _, name := range []string{"Ideal", "Hermit", "DiLOS", "MageLib", "MageLnx"} {
 		for _, pf := range []bool{false, true} {
 			if pf && (name == "Ideal" || name == "MageLnx") {
 				continue
 			}
-			pf := pf
-			mutate := func(c *core.Config) {
-				c.Prefetch = pf
-				c.PrefetchDegree = 16
-			}
-			baseRes := runStreams(name, sc.Threads, w(), 0, sc.Seed, mutate)
-			res := runStreams(name, sc.Threads, w(), off, sc.Seed, mutate)
-			drop := 1 - res.JobsPerHour()/baseRes.JobsPerHour()
-			t.AddRow(name, fmt.Sprintf("%v", pf), fmtPct(off),
-				fmtF(res.OpsPerSec()/1e6),
-				fmt.Sprintf("%d", res.Metrics.MajorFaults), fmtPct(drop))
+			cells = append(cells, cell{name, pf})
 		}
+	}
+	type point struct {
+		res  core.RunResult
+		drop float64
+	}
+	results := runCells(sc, len(cells), func(i int) point {
+		c := cells[i]
+		mutate := func(cf *core.Config) {
+			cf.Prefetch = c.pf
+			cf.PrefetchDegree = 16
+		}
+		baseRes := runStreams(c.name, sc.Threads, w(), 0, sc.Seed, mutate)
+		res := runStreams(c.name, sc.Threads, w(), off, sc.Seed, mutate)
+		return point{res, 1 - res.JobsPerHour()/baseRes.JobsPerHour()}
+	})
+	for i, c := range cells {
+		p := results[i]
+		t.AddRow(c.name, fmt.Sprintf("%v", c.pf), fmtPct(off),
+			fmtF(p.res.OpsPerSec()/1e6),
+			fmt.Sprintf("%d", p.res.Metrics.MajorFaults), fmtPct(p.drop))
 	}
 	t.Notes = append(t.Notes, "paper: prefetching cuts Mage^LIB faults ~4x and recovers near-ideal throughput; helps DiLOS little; hurts Hermit")
 	return []*Table{t}
@@ -146,34 +177,50 @@ func Fig12(sc Scale) []*Table {
 		Title:  "Metis map and reduce phase throughput vs far memory (48 threads)",
 		Header: []string{"far-mem%", "system", "map Mops/s", "reduce Mops/s", "switch@ms", "makespan ms"},
 	}
+	type cell struct {
+		off  float64
+		name string
+	}
+	var cells []cell
 	for _, off := range []float64{0, 0.1, 0.2} {
 		for _, name := range systemNames {
-			m := workload.NewMetis(sc.Metis)
-			s := buildSystemRaw(name, sc.Threads, m.NumPages(), off, nil)
-			// The intermediate/output regions are runtime allocations
-			// (zero-fill on first touch); the input — the map phase's
-			// working set, laid out first — starts resident. Offloading
-			// therefore displaces what the reduce phase will need: the
-			// paper's phase-change setup.
-			applyZeroFill(s, m)
-			s.PrepopulateFront(int(m.NumPages()))
-			streams := m.StreamsOn(s.Eng, sc.Threads, sc.Seed)
-			res := s.RunWithOptions(streams, core.RunOptions{})
-			switchAt := m.PhaseSwitchAt
-			mapOps := float64(0)
-			redOps := float64(0)
-			// Access counts per phase derive from the params.
-			perThreadMap := float64(sc.Metis.InputPages) / float64(sc.Threads) * float64(1+sc.Metis.EmitsPerInputPage)
-			perThreadRed := float64(sc.Metis.IntermediatePages) / float64(sc.Threads) * 1.125
-			if switchAt > 0 {
-				mapOps = perThreadMap * float64(sc.Threads) / switchAt.Seconds()
-			}
-			if res.Makespan > switchAt {
-				redOps = perThreadRed * float64(sc.Threads) / (res.Makespan - switchAt).Seconds()
-			}
-			t.AddRow(fmtPct(off), name, fmtF(mapOps/1e6), fmtF(redOps/1e6),
-				fmtF1(switchAt.Seconds()*1e3), fmtF1(res.Makespan.Seconds()*1e3))
+			cells = append(cells, cell{off, name})
 		}
+	}
+	type point struct {
+		switchAt sim.Time
+		makespan sim.Time
+	}
+	results := runCells(sc, len(cells), func(i int) point {
+		c := cells[i]
+		m := workload.NewMetis(sc.Metis)
+		s := buildSystemRaw(c.name, sc.Threads, m.NumPages(), c.off, nil)
+		// The intermediate/output regions are runtime allocations
+		// (zero-fill on first touch); the input — the map phase's
+		// working set, laid out first — starts resident. Offloading
+		// therefore displaces what the reduce phase will need: the
+		// paper's phase-change setup.
+		applyZeroFill(s, m)
+		s.PrepopulateFront(int(m.NumPages()))
+		streams := m.StreamsOn(s.Eng, sc.Threads, sc.Seed)
+		res := s.RunWithOptions(streams, core.RunOptions{})
+		return point{switchAt: m.PhaseSwitchAt, makespan: res.Makespan}
+	})
+	for i, c := range cells {
+		switchAt, makespan := results[i].switchAt, results[i].makespan
+		mapOps := float64(0)
+		redOps := float64(0)
+		// Access counts per phase derive from the params.
+		perThreadMap := float64(sc.Metis.InputPages) / float64(sc.Threads) * float64(1+sc.Metis.EmitsPerInputPage)
+		perThreadRed := float64(sc.Metis.IntermediatePages) / float64(sc.Threads) * 1.125
+		if switchAt > 0 {
+			mapOps = perThreadMap * float64(sc.Threads) / switchAt.Seconds()
+		}
+		if makespan > switchAt {
+			redOps = perThreadRed * float64(sc.Threads) / (makespan - switchAt).Seconds()
+		}
+		t.AddRow(fmtPct(c.off), c.name, fmtF(mapOps/1e6), fmtF(redOps/1e6),
+			fmtF1(switchAt.Seconds()*1e3), fmtF1(makespan.Seconds()*1e3))
 	}
 	t.Notes = append(t.Notes, "paper: after the phase change MAGE loses ~14% while Hermit/DiLOS lose 61%/41%")
 	return []*Table{t}
@@ -187,16 +234,21 @@ func Fig11(sc Scale) []*Table {
 		Title:  "GUPS throughput timeline across the phase change (85% local)",
 		Header: []string{"system", "pre-change Mops/s", "post-change min", "recovered Mops/s", "stall ms"},
 	}
-	for _, name := range systemNames {
+	type point struct{ pre, minPost, rec, stall float64 }
+	results := runCells(sc, len(systemNames), func(i int) point {
 		g := workload.NewGUPS(sc.Gups)
 		// Phase 1's region (the first 80% of the WSS) starts resident and
 		// fits within the 85% local quota, so the first phase runs nearly
 		// fault-free — the transition is what gets measured.
-		s := buildSystemPrepop(name, sc.Threads, g.NumPages(), 0.15, nil, false)
+		s := buildSystemPrepop(systemNames[i], sc.Threads, g.NumPages(), 0.15, nil, false)
 		res := s.RunWithOptions(g.Streams(sc.Threads, sc.Seed),
 			core.RunOptions{SampleEvery: res11SamplePeriod})
 		pre, minPost, rec, stall := timelineStats(res)
-		t.AddRow(name, fmtF(pre/1e6), fmtF(minPost/1e6), fmtF(rec/1e6), fmtF1(stall))
+		return point{pre, minPost, rec, stall}
+	})
+	for i, name := range systemNames {
+		p := results[i]
+		t.AddRow(name, fmtF(p.pre/1e6), fmtF(p.minPost/1e6), fmtF(p.rec/1e6), fmtF1(p.stall))
 	}
 	t.Notes = append(t.Notes,
 		"paper: Hermit/DiLOS nearly stall >2s after the change; MAGE dips briefly and recovers")

@@ -52,6 +52,40 @@ func digest(tables []*experiments.Table) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// TestSequentialParallelByteIdentical regenerates experiments once on the
+// sequential reference path (Workers=1, no host goroutines) and once with
+// a parallel worker pool, and requires byte-identical rendered output.
+// This is the parexp contract: cells are seeded from their grid identity
+// and collected in cell order, so worker count and host scheduling must
+// never reach the tables.
+func TestSequentialParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double-runs full experiments; skipped in -short mode")
+	}
+	// Every registry experiment: the worker count must be invisible in
+	// all of them, not just the ones with convenient grids.
+	for _, id := range experiments.Names() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			runner, err := experiments.Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := determinismScale()
+			seq.Workers = 1
+			par := determinismScale()
+			par.Workers = 4
+			seqDigest := digest(runner(seq))
+			parDigest := digest(runner(par))
+			if seqDigest != parDigest {
+				t.Fatalf("experiment %s diverges across worker counts: sequential digest %s, parallel digest %s",
+					id, seqDigest, parDigest)
+			}
+		})
+	}
+}
+
 // TestExperimentsDeterministic runs experiments from the registry twice
 // with the same seed and requires byte-identical rendered output. This is
 // the property magevet's static checks exist to protect: same seed, same

@@ -1,0 +1,93 @@
+// Package parexp regenerates experiment grids in parallel without
+// perturbing their output.
+//
+// Every figure in the paper is a grid of independent cells: one
+// (system, parameter) point simulated on its own sim.Engine with its
+// own workload, seeded purely from the cell's identity. Because cells
+// share nothing, they can run on host goroutines concurrently — the
+// one place in this repository where host concurrency is allowed to
+// touch simulation code. The determinism contract is preserved by
+// construction:
+//
+//   - a cell's RNG seeds derive from the cell key (scale seed +
+//     grid coordinates), never from worker identity or scheduling;
+//   - each cell builds a private engine, so no simulated state is
+//     shared across host goroutines;
+//   - results land in a slice indexed by cell, so the rendered tables
+//     are byte-identical to a sequential run regardless of completion
+//     order.
+//
+// magevet grants this package an explicit allowance for goroutines and
+// the sync import; everywhere else under internal/ they remain banned.
+package parexp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map evaluates fn(i) for i in [0, n) and returns the results in cell
+// order. workers <= 0 means GOMAXPROCS; workers == 1 runs inline on the
+// calling goroutine (the sequential reference path — no goroutines are
+// spawned); otherwise up to min(workers, n) host goroutines each pull
+// cell indices from a shared feed.
+//
+// If any fn panics, Map re-panics after all workers drain, propagating
+// the panic from the lowest-indexed failing cell so the surfaced error
+// does not depend on scheduling.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	feed := make(chan int)
+	panics := make([]interface{}, n)
+	var failed bool
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							mu.Lock()
+							panics[i] = v
+							failed = true
+							mu.Unlock()
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
+	if failed {
+		for i := 0; i < n; i++ {
+			if panics[i] != nil {
+				panic(panics[i])
+			}
+		}
+	}
+	return out
+}

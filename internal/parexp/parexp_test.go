@@ -1,0 +1,107 @@
+package parexp
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func square(i int) int { return i * i }
+
+func TestMapPreservesCellOrder(t *testing.T) {
+	want := make([]int, 100)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{0, 1, 2, 7, 100, 1000} {
+		got := Map(100, workers, square)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: results out of cell order", workers)
+		}
+	}
+}
+
+func TestMapMatchesSequential(t *testing.T) {
+	// The core byte-identity property at the Map level: parallel output
+	// equals the workers=1 reference for a fn whose value depends only
+	// on the cell index.
+	fn := func(i int) string { return fmt.Sprintf("cell-%d:%d", i, i*31) }
+	seq := Map(57, 1, fn)
+	par := Map(57, 8, fn)
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("parallel results differ from sequential reference")
+	}
+}
+
+func TestMapSequentialRunsInline(t *testing.T) {
+	// workers==1 must execute cells in index order on the caller's
+	// goroutine — it is the reference path for determinism comparisons.
+	var order []int
+	Map(10, 1, func(i int) int {
+		order = append(order, i) // safe only because it is inline
+		return i
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline path ran cells out of order: %v", order)
+		}
+	}
+}
+
+func TestMapZeroAndNegativeCells(t *testing.T) {
+	if got := Map(0, 4, square); got != nil {
+		t.Errorf("Map(0) = %v, want nil", got)
+	}
+	if got := Map(-3, 4, square); got != nil {
+		t.Errorf("Map(-3) = %v, want nil", got)
+	}
+}
+
+func TestMapRunsEveryCellOnce(t *testing.T) {
+	const n = 200
+	var counts [n]int32
+	Map(n, 16, func(i int) struct{} {
+		atomic.AddInt32(&counts[i], 1)
+		return struct{}{}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("cell %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapPanicPropagatesLowestCell(t *testing.T) {
+	// Several cells panic; Map must surface the lowest-indexed one so
+	// the error a user sees does not depend on host scheduling.
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("Map swallowed the panic")
+		}
+		if v != "boom-3" {
+			t.Fatalf("propagated panic %v, want boom-3 (lowest failing cell)", v)
+		}
+	}()
+	Map(64, 8, func(i int) int {
+		if i == 3 || i == 40 || i == 63 {
+			panic(fmt.Sprintf("boom-%d", i))
+		}
+		return i
+	})
+}
+
+func TestMapPanicSequential(t *testing.T) {
+	defer func() {
+		if v := recover(); v != "seq-boom" {
+			t.Fatalf("recovered %v, want seq-boom", v)
+		}
+	}()
+	Map(5, 1, func(i int) int {
+		if i == 2 {
+			panic("seq-boom")
+		}
+		return i
+	})
+}

@@ -24,7 +24,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -73,6 +72,8 @@ const (
 	wakeSleep
 	wakeSignal
 	wakeTimeout
+	// wakePoison tells a parked process to unwind and exit (Shutdown).
+	wakePoison
 )
 
 type event struct {
@@ -83,23 +84,59 @@ type event struct {
 	canceled bool
 }
 
+// before is the event ordering: time, then schedule order. seq is unique
+// per engine, so this is a total order and every heap implementation
+// pops events in exactly the same sequence.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). The sift loops
+// are inlined here rather than going through container/heap: the
+// interface boxing and indirect Less/Swap calls cost more than the
+// comparisons themselves on this hot path.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(ev *event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	*h = s
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) pop() *event {
+	s := *h
+	ev := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && s[r].before(s[c]) {
+			c = r
+		}
+		if !s[c].before(s[i]) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	*h = s
 	return ev
 }
 
@@ -126,16 +163,25 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.eng.now }
 
-// Engine runs the simulation: it owns the virtual clock and the event queue.
+// Engine runs the simulation: it owns the virtual clock and the event
+// queue. Dispatch is distributed: a parking or exiting process pops the
+// next event and resumes its target directly (one goroutine switch per
+// event, zero when the next event is its own), returning control to the
+// engine goroutine only when nothing is dispatchable. Exactly one
+// goroutine is ever active, and every handoff goes through a channel, so
+// the shared state below needs no locking and stays race-detector-clean.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now      Time
+	seq      uint64
+	deadline Time
+	events   eventHeap
+	// free is the *event freelist: dispatched and canceled events are
+	// recycled so steady-state scheduling allocates nothing.
+	free    []*event
 	yield   chan struct{}
 	cur     *Proc
-	procs   map[*Proc]struct{} // live processes only
+	procs   []*Proc // indexed by Proc.ID; nil once exited
 	live    int
-	nextID  int
 	panicV  interface{}
 	stopped bool
 }
@@ -144,7 +190,6 @@ type Engine struct {
 func NewEngine() *Engine {
 	return &Engine{
 		yield: make(chan struct{}),
-		procs: make(map[*Proc]struct{}),
 	}
 }
 
@@ -154,6 +199,10 @@ func (e *Engine) Now() Time { return e.now }
 // Live returns the number of processes that have not yet exited.
 func (e *Engine) Live() int { return e.live }
 
+// poison is the panic value park uses to unwind a process being shut
+// down; the spawn wrapper recognizes and swallows it.
+type poison struct{}
+
 // Spawn creates a process that will begin executing fn at the current
 // virtual time. It may be called before Run or from inside a running
 // process.
@@ -161,26 +210,35 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{
 		eng:    e,
 		name:   name,
-		id:     e.nextID,
+		id:     len(e.procs),
 		resume: make(chan wakeReason),
 	}
-	e.nextID++
 	e.live++
-	e.procs[p] = struct{}{}
+	e.procs = append(e.procs, p)
 	e.scheduleWake(p, e.now, wakeSleep)
 	go func() { //magevet:ok coroutine hand-off: exactly one process runs at a time, resumed by the engine
 
-		r := <-p.resume
-		_ = r
 		defer func() {
-			if v := recover(); v != nil {
+			if v := recover(); v != nil && v != (poison{}) {
 				e.panicV = v
 			}
 			p.exited = true
 			e.live--
-			delete(e.procs, p)
+			e.procs[p.id] = nil
+			// Hand off like park does, except an exiting process can
+			// never be its own successor (it has no pending event), and
+			// a surfacing panic must reach the engine goroutine now.
+			if e.panicV == nil {
+				if ev := e.next(); ev != nil {
+					e.dispatch(ev)
+					return
+				}
+			}
 			e.yield <- struct{}{}
 		}()
+		if r := <-p.resume; r == wakePoison {
+			return
+		}
 		fn(p)
 	}()
 	return p
@@ -190,10 +248,61 @@ func (e *Engine) schedule(at Time, p *Proc, reason wakeReason) *event {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &event{at: at, seq: e.seq, p: p, reason: reason}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = event{at: at, seq: e.seq, p: p, reason: reason}
+	} else {
+		ev = &event{at: at, seq: e.seq, p: p, reason: reason}
+	}
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 	return ev
+}
+
+// recycle returns a no-longer-referenced event to the freelist.
+func (e *Engine) recycle(ev *event) {
+	ev.p = nil
+	e.free = append(e.free, ev)
+}
+
+// next pops the next dispatchable event, recycling canceled carcasses.
+// It returns nil when control must pass back to the engine goroutine:
+// the heap is empty, the engine is stopped, or the next event lies past
+// the deadline (in which case it is pushed back for a later RunUntil).
+func (e *Engine) next() *event {
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events.pop()
+		if ev.canceled {
+			e.recycle(ev)
+			continue
+		}
+		if ev.at > e.deadline {
+			e.events.push(ev)
+			return nil
+		}
+		if invariant.Enabled {
+			invariant.Assert(ev.at >= e.now,
+				"sim: event at t=%v dispatched after clock reached t=%v", ev.at, e.now)
+		}
+		return ev
+	}
+	return nil
+}
+
+// dispatch advances the clock to ev and resumes its process. It must
+// only be called by the currently active goroutine; the caller blocks
+// (or exits) immediately afterwards.
+func (e *Engine) dispatch(ev *event) {
+	e.now = ev.at
+	q := ev.p
+	reason := ev.reason
+	q.pending = nil
+	e.recycle(ev)
+	e.cur = q
+	q.resume <- reason
 }
 
 // scheduleWake arranges for p to resume at time at, canceling any
@@ -217,43 +326,41 @@ func (e *Engine) Run() Time {
 // RunUntil is like Run but stops once the clock would pass the deadline.
 // Events at exactly the deadline still execute.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.canceled {
-			continue
+	e.deadline = deadline
+	for !e.stopped {
+		ev := e.next()
+		if ev == nil {
+			break
 		}
-		if ev.at > deadline {
-			// Put it back for a later RunUntil call.
-			heap.Push(&e.events, ev)
-			e.now = deadline
-			return e.now
-		}
-		if invariant.Enabled {
-			invariant.Assert(ev.at >= e.now,
-				"sim: event at t=%v dispatched after clock reached t=%v", ev.at, e.now)
-		}
-		e.now = ev.at
-		p := ev.p
-		p.pending = nil
-		e.cur = p
-		p.resume <- ev.reason
+		e.dispatch(ev)
+		// The dispatched process (and those it hands off to in turn)
+		// run the simulation; control returns here only when nothing is
+		// dispatchable or a panic must surface.
 		<-e.yield
 		e.cur = nil
 		if e.panicV != nil {
 			panic(e.panicV)
 		}
 	}
-	if !e.stopped && e.live > 0 {
-		panic(fmt.Sprintf("sim: deadlock at t=%v: %d blocked process(es): %v",
-			e.now, e.live, e.blockedNames()))
+	if !e.stopped {
+		if len(e.events) > 0 {
+			// The next event lies beyond the deadline; leave it queued
+			// for a later RunUntil call.
+			e.now = deadline
+			return e.now
+		}
+		if e.live > 0 {
+			panic(fmt.Sprintf("sim: deadlock at t=%v: %d blocked process(es): %v",
+				e.now, e.live, e.blockedNames()))
+		}
 	}
 	return e.now
 }
 
 func (e *Engine) blockedNames() []string {
 	var names []string
-	for p := range e.procs { //magevet:ok names are sorted below; used only in the deadlock panic message
-		if !p.exited {
+	for _, p := range e.procs {
+		if p != nil && !p.exited {
 			names = append(names, p.name)
 		}
 	}
@@ -265,14 +372,57 @@ func (e *Engine) blockedNames() []string {
 }
 
 // Stop makes Run return after the current event completes. Blocked
-// processes are abandoned (their goroutines are leaked for the remainder of
-// the host process; engines are cheap and short-lived in practice).
+// processes are abandoned but their goroutines stay parked; call
+// Shutdown once Run has returned to release them.
 func (e *Engine) Stop() { e.stopped = true }
 
-// park transfers control back to the engine and blocks until resumed.
+// Shutdown terminates every process that has not yet exited by resuming
+// it with a poison wake that unwinds its stack. It must be called after
+// Run/RunUntil has returned (never from inside a running process), and
+// it is idempotent: a drained engine shuts down as a no-op. Engines that
+// stop early (Stop, RunUntil deadlines) would otherwise leak one parked
+// goroutine per abandoned process for the life of the host process.
+func (e *Engine) Shutdown() {
+	if e.cur != nil {
+		panic("sim: Shutdown called from inside a running process")
+	}
+	e.stopped = true
+	for _, p := range e.procs {
+		if p == nil || p.exited {
+			continue
+		}
+		p.resume <- wakePoison
+		<-e.yield
+	}
+}
+
+// park blocks the process until resumed. The parking process dispatches
+// the next event itself: when that event is its own (consecutive sleeps
+// with no one else runnable) it returns without any goroutine switch;
+// when it belongs to another process control transfers directly to it;
+// only when nothing is dispatchable does control bounce back to the
+// engine goroutine. A poison wake (Shutdown) unwinds the process's stack
+// instead of returning; the spawn wrapper swallows the sentinel panic.
 func (p *Proc) park() wakeReason {
-	p.eng.yield <- struct{}{}
-	return <-p.resume
+	e := p.eng
+	if ev := e.next(); ev != nil {
+		if ev.p == p {
+			e.now = ev.at
+			reason := ev.reason
+			p.pending = nil
+			e.recycle(ev)
+			e.cur = p
+			return reason
+		}
+		e.dispatch(ev)
+	} else {
+		e.yield <- struct{}{}
+	}
+	r := <-p.resume
+	if r == wakePoison {
+		panic(poison{})
+	}
+	return r
 }
 
 // Sleep advances this process's virtual time by d nanoseconds. Other
