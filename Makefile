@@ -25,11 +25,12 @@ magecheck:
 fmt:
 	gofmt -l .
 
-# Benchmark snapshot: engine dispatch + figure regeneration, recorded as
-# JSON (name, ns/op, reported metrics such as events/s) for diffing
-# across commits.
+# Benchmark snapshot: engine dispatch + figure regeneration + the fault
+# pipeline with and without injected faults, recorded as JSON (name,
+# ns/op, reported metrics such as events/s and retries/op) for diffing
+# across commits — robustness regressions show up next to perf ones.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineDispatch|BenchmarkParexpFigures|BenchmarkFaultPathMageLib' ./... \
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineDispatch|BenchmarkParexpFigures|BenchmarkFaultPathMageLib|BenchmarkFaultToleranceMageLib' ./... \
 		| tee /dev/stderr | $(GO) run ./cmd/benchsnap > BENCH_$(BENCH_DATE).json
 
 check: build vet magevet test magecheck

@@ -15,6 +15,7 @@ import (
 
 	"mage"
 	"mage/internal/experiments"
+	"mage/internal/faultinject"
 	"mage/internal/workload"
 )
 
@@ -117,9 +118,10 @@ func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
 func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
 
 // Extension experiments (beyond the paper's figures).
-func BenchmarkExtEvictorSweep(b *testing.B) { benchExperiment(b, "extevict") }
-func BenchmarkExtAccounting(b *testing.B)   { benchExperiment(b, "extacct") }
-func BenchmarkExtBackends(b *testing.B)     { benchExperiment(b, "extbackend") }
+func BenchmarkExtEvictorSweep(b *testing.B)   { benchExperiment(b, "extevict") }
+func BenchmarkExtAccounting(b *testing.B)     { benchExperiment(b, "extacct") }
+func BenchmarkExtBackends(b *testing.B)       { benchExperiment(b, "extbackend") }
+func BenchmarkExtFaultTolerance(b *testing.B) { benchExperiment(b, "extfault") }
 
 // BenchmarkClaims runs the headline-claim self-check.
 func BenchmarkClaims(b *testing.B) { benchExperiment(b, "claims") }
@@ -170,4 +172,45 @@ func BenchmarkFaultPathMageLib(b *testing.B) {
 	if res.TotalAccesses() == 0 {
 		b.Fatal("no accesses")
 	}
+}
+
+// BenchmarkFaultToleranceMageLib runs the fault pipeline under injected
+// faults (per-op NACKs, spikes, periodic outages) and reports the
+// robustness counters per simulated op alongside host ns/op — benchsnap
+// picks the extra metrics up into BENCH_*.json so robustness regressions
+// show next to performance ones.
+func BenchmarkFaultToleranceMageLib(b *testing.B) {
+	cfg := mage.MageLib(8, 1<<14, 1<<13)
+	cfg.Sockets = 1
+	cfg.CoresPerSocket = 12
+	cfg.FaultPlan = &faultinject.Plan{
+		Seed:          faultinject.DeriveSeed(7, "bench", "fault-tolerance"),
+		ReadFailProb:  0.02,
+		WriteFailProb: 0.02,
+		SpikeProb:     0.01,
+		SpikeMin:      mage.Microsecond,
+		SpikeMax:      20 * mage.Microsecond,
+		Outages:       faultinject.PeriodicOutages(2*mage.Millisecond, 5*mage.Millisecond, 500*mage.Microsecond, 100),
+	}
+	sys := mage.MustNewSystem(cfg)
+	i := uint64(0)
+	stream := mage.FuncStream(func() (mage.Access, bool) {
+		if i >= uint64(b.N) {
+			return mage.Access{}, false
+		}
+		pg := (i * 7919) % (1 << 14)
+		i++
+		return mage.Access{Page: pg}, true
+	})
+	b.ResetTimer()
+	res := sys.Run([]mage.AccessStream{stream})
+	if res.TotalAccesses() == 0 {
+		b.Fatal("no accesses")
+	}
+	m := res.Metrics
+	ops := float64(res.TotalAccesses())
+	b.ReportMetric(float64(m.FaultRetries+m.EvictRetries)/ops, "retries/op")
+	b.ReportMetric(float64(m.FaultTimeouts+m.EvictTimeouts)/ops, "timeouts/op")
+	b.ReportMetric(float64(m.FaultGiveUps)/ops, "giveups/op")
+	b.ReportMetric(float64(m.DegradedNs)/1e6, "degraded-ms")
 }

@@ -7,8 +7,9 @@
 //
 // Every benchmark line is captured with its iteration count, ns/op, and
 // any extra metrics the benchmark reported via b.ReportMetric (e.g. the
-// engine's events/s — simulated events dispatched per host second — or
-// allocation counters from -benchmem).
+// engine's events/s — simulated events dispatched per host second — the
+// fault-tolerance bench's robustness counters (retries/op, timeouts/op,
+// giveups/op, degraded-ms), or allocation counters from -benchmem).
 package main
 
 import (

@@ -42,6 +42,35 @@ func TestParseSample(t *testing.T) {
 	}
 }
 
+// TestParseRobustnessMetrics pins the units the fault-tolerance bench
+// reports (retries/op, timeouts/op, giveups/op, degraded-ms): they must
+// land in the JSON metrics map so BENCH_*.json diffs catch robustness
+// regressions alongside performance ones.
+func TestParseRobustnessMetrics(t *testing.T) {
+	const line = `pkg: mage
+BenchmarkFaultToleranceMageLib-8   	    2048	     91540 ns/op	       210.0 degraded-ms	         0.0150 giveups/op	         0.0890 retries/op	         0.0420 timeouts/op
+`
+	snap, err := parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(snap.Results))
+	}
+	m := snap.Results[0].Metrics
+	want := map[string]float64{
+		"retries/op":  0.0890,
+		"timeouts/op": 0.0420,
+		"giveups/op":  0.0150,
+		"degraded-ms": 210.0,
+	}
+	for unit, v := range want {
+		if m[unit] != v {
+			t.Errorf("metric %q = %v, want %v", unit, m[unit], v)
+		}
+	}
+}
+
 func TestRunEmitsJSONAndExitCodes(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run(strings.NewReader(sample), &out, &errw); code != 0 {

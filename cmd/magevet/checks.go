@@ -26,19 +26,20 @@ const (
 // that must stay single-threaded virtual-time code: no goroutines, no host
 // sync primitives, no map-iteration order reaching engine state.
 var desPackages = map[string]bool{
-	"internal/sim":       true,
-	"internal/core":      true,
-	"internal/pgtable":   true,
-	"internal/tlbsim":    true,
-	"internal/apic":      true,
-	"internal/nic":       true,
-	"internal/memnode":   true,
-	"internal/swapspace": true,
-	"internal/buddy":     true,
-	"internal/lru":       true,
-	"internal/palloc":    true,
-	"internal/prefetch":  true,
-	"internal/invariant": true,
+	"internal/sim":         true,
+	"internal/core":        true,
+	"internal/faultinject": true,
+	"internal/pgtable":     true,
+	"internal/tlbsim":      true,
+	"internal/apic":        true,
+	"internal/nic":         true,
+	"internal/memnode":     true,
+	"internal/swapspace":   true,
+	"internal/buddy":       true,
+	"internal/lru":         true,
+	"internal/palloc":      true,
+	"internal/prefetch":    true,
+	"internal/invariant":   true,
 }
 
 // hostConcurrencyPackages are the internal packages granted a package-wide

@@ -1,0 +1,39 @@
+// Package faultinject is a magevet fixture standing in for the fault
+// schedule subsystem: deterministic by contract, so it gets the full DES
+// treatment — no wall clock, no global randomness, no host concurrency.
+package faultinject
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Injector is a stand-in for the real fault injector.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// New builds an injector from an explicit seed. Constructing a private
+// seeded generator is the sanctioned pattern and must stay clean.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Bad exercises the checks a fault schedule must never trip: schedules
+// are keyed to virtual time and derived seeds, so the host clock and the
+// global rand source would silently break grid byte-identity.
+func Bad() int64 {
+	deadline := time.Now().UnixNano() // want wallclock
+	time.Sleep(time.Microsecond)      // want wallclock
+	jitter := rand.Int63n(100)        // want globalrand
+
+	done := make(chan struct{})
+	go func() { // want goroutine
+		close(done)
+	}()
+	<-done
+	return deadline + jitter
+}
+
+// Draw uses the injector's private generator: always fine.
+func (i *Injector) Draw() float64 { return i.rng.Float64() }

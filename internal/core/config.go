@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"mage/internal/faultinject"
 	"mage/internal/nic"
 	"mage/internal/pgtable"
 )
@@ -188,6 +189,17 @@ type Config struct {
 	// Ideal selects the analytical zero-software-overhead baseline of
 	// §3.1: faults cost only data movement, eviction is free and instant.
 	Ideal bool
+
+	// FaultPlan, when non-nil and enabled, attaches a deterministic
+	// fault injector (internal/faultinject) to the system's NIC: remote
+	// reads and writeback writes can NACK, time out, spike, or run over
+	// a degraded link per the plan's seeded schedule. nil (the default)
+	// keeps the fault-free paths event-for-event identical to a build
+	// without fault injection.
+	FaultPlan *faultinject.Plan
+	// Retry governs the fault-in/eviction retry layer; zero fields are
+	// defaulted by Validate when FaultPlan is enabled.
+	Retry RetryPolicy
 }
 
 // Validate checks internal consistency and fills defaulted fields.
@@ -252,6 +264,9 @@ func (c *Config) Validate() error {
 	}
 	if c.TLBBatch > c.BatchSize {
 		c.TLBBatch = c.BatchSize
+	}
+	if c.FaultPlan.Enabled() {
+		c.Retry.fillDefaults()
 	}
 	return nil
 }

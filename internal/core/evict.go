@@ -29,6 +29,9 @@ type ebatch struct {
 	victims []victim
 	tlb     []*tlbsim.Completion
 	rdma    *nic.Completion
+	// wbBytes is the writeback size behind rdma, kept so awaitWriteback
+	// can re-post the write if the fault injector drops it.
+	wbBytes int64
 }
 
 // evictResult summarizes one synchronous eviction round.
@@ -78,6 +81,13 @@ func (s *System) effectiveBatch(configured int) int {
 // begins.
 func (s *System) batchEvictor(p *sim.Proc, id int, core topo.CoreID) {
 	for !s.stopped {
+		// Eviction throttling: starting a batch while the remote node is
+		// down would only unmap pages it cannot write back; park until
+		// the scheduled recovery instead.
+		if s.FaultInj != nil && s.FaultInj.Down(p.Now()) {
+			s.degradedWait(p)
+			continue
+		}
 		if !s.underPressure() {
 			s.evictKick.WaitTimeout(p, evictorPollInterval)
 			continue
@@ -105,10 +115,9 @@ func (s *System) evictOnce(p *sim.Proc, id int, core topo.CoreID, batch int, for
 	}
 	tlbTime := p.Now() - t0
 
-	// EP₄: write back, synchronous.
-	if c := s.postWriteback(p, eb); c != nil {
-		c.Wait(p)
-	}
+	// EP₄: write back, synchronous (re-posted through injected faults).
+	eb.rdma = s.postWriteback(p, eb)
+	s.awaitWriteback(p, eb)
 	s.reclaim(p, core, eb)
 	return evictResult{evicted: len(eb.victims), tlbTime: tlbTime}
 }
@@ -123,6 +132,14 @@ func (s *System) pipelinedEvictor(p *sim.Proc, id int, core topo.CoreID) {
 	for {
 		if s.stopped && tsb == nil && rsb == nil {
 			return
+		}
+		// Eviction throttling: with nothing in flight and the remote node
+		// down, park until recovery rather than feeding the pipeline
+		// batches whose writebacks are doomed. In-flight batches keep
+		// draining through awaitWriteback's retry loop.
+		if s.FaultInj != nil && tsb == nil && rsb == nil && s.FaultInj.Down(p.Now()) {
+			s.degradedWait(p)
+			continue
 		}
 		pressure := s.underPressure()
 		if !pressure && tsb == nil && rsb == nil {
@@ -151,9 +168,11 @@ func (s *System) pipelinedEvictor(p *sim.Proc, id int, core topo.CoreID) {
 		if nb != nil {
 			nb.tlb = s.postShootdowns(p, core, nb)
 		}
-		// ⑥ Wait for the RSB batch's RDMA writes.
-		if rsb != nil && rsb.rdma != nil {
-			rsb.rdma.Wait(p)
+		// ⑥ Wait for the RSB batch's RDMA writes (re-posting any the
+		// fault injector dropped: frames may not be reclaimed until
+		// their content has actually reached the far node).
+		if rsb != nil {
+			s.awaitWriteback(p, rsb)
 		}
 		// ⑤ Initiate RDMA writes for the TSB batch's dirty pages.
 		if tsb != nil {
@@ -256,7 +275,9 @@ func (s *System) postWriteback(p *sim.Proc, eb *ebatch) *nic.Completion {
 	if pagesToWrite == 0 {
 		return nil
 	}
-	return s.NIC.PostWrite(p, int64(pagesToWrite)*nic.PageSize)
+	eb.wbBytes = int64(pagesToWrite) * nic.PageSize
+	// TryPostWrite degenerates to PostWrite when no injector is attached.
+	return s.NIC.TryPostWrite(p, eb.wbBytes, s.Cfg.Retry.AttemptTimeout)
 }
 
 // reclaim is the final stage: retire the PTEs, record the remote slots,

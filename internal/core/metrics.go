@@ -52,6 +52,22 @@ type Metrics struct {
 
 	// DedupWaits counts faults absorbed by in-flight fetches.
 	DedupWaits uint64
+
+	// Robustness / fault injection (all zero without a FaultPlan).
+	FaultRetries  uint64 // fault-path attempts retried after NACK/timeout
+	FaultTimeouts uint64 // fault-path attempts that burned a full AttemptTimeout
+	FaultGiveUps  uint64 // fault-path rounds abandoned into degraded mode
+	EvictRetries  uint64 // writeback posts repeated after a dropped write
+	EvictTimeouts uint64 // writeback drops that were timeouts
+	RetryWaits    uint64 // backoff sleeps taken
+	RetryWaitNs   int64  // total virtual time spent in backoff sleeps
+	DegradedNs    int64  // total virtual time inside degraded mode
+	DegradedSpans uint64 // distinct degraded episodes
+	// Injected-fault tallies from the injector's own counters.
+	InjReadNacks  uint64
+	InjWriteNacks uint64
+	InjTimeouts   uint64
+	InjSpikes     uint64
 }
 
 // Snapshot collects metrics; elapsed is used for rate computations.
@@ -95,6 +111,22 @@ func (s *System) Snapshot(elapsed sim.Time) Metrics {
 		FreeWaitNs:      s.FreeWaitNs,
 
 		DedupWaits: s.AS.DedupWaits.Value(),
+
+		FaultRetries:  s.FaultRetries.Value(),
+		FaultTimeouts: s.FaultTimeouts.Value(),
+		FaultGiveUps:  s.FaultGiveUps.Value(),
+		EvictRetries:  s.EvictRetries.Value(),
+		EvictTimeouts: s.EvictTimeouts.Value(),
+		RetryWaits:    s.RetryWait.Count(),
+		RetryWaitNs:   s.RetryWait.Sum(),
+		DegradedNs:    s.Degraded.TotalAt(int64(elapsed)),
+		DegradedSpans: s.Degraded.Count(),
+	}
+	if in := s.FaultInj; in != nil {
+		m.InjReadNacks = in.ReadNacks.Value()
+		m.InjWriteNacks = in.WriteNacks.Value()
+		m.InjTimeouts = in.ReadTimeouts.Value() + in.WriteTimeouts.Value()
+		m.InjSpikes = in.Spikes.Value()
 	}
 	for _, c := range s.FaultBreak.Components() {
 		m.BreakdownNs[c] = s.FaultBreak.PerOp(c)

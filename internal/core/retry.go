@@ -1,0 +1,143 @@
+package core
+
+import (
+	"mage/internal/nic"
+	"mage/internal/sim"
+)
+
+// RetryPolicy parameterizes the fault-in/eviction retry layer: per-op
+// timeouts with capped exponential backoff and deterministic jitter.
+// It only takes effect when Config.FaultPlan enables injection; without
+// a plan every remote op succeeds on the first attempt and the policy
+// is never consulted.
+type RetryPolicy struct {
+	// MaxAttempts is how many times one remote op is tried before the
+	// path declares the remote unreachable and drops into degraded mode.
+	MaxAttempts int
+	// AttemptTimeout is the per-attempt deadline: a timed-out op burns
+	// this much virtual time before the retry logic sees the failure.
+	AttemptTimeout sim.Time
+	// BaseBackoff doubles per consecutive failure up to MaxBackoff.
+	BaseBackoff sim.Time
+	MaxBackoff  sim.Time
+	// JitterFrac spreads each backoff by ±frac (deterministically, from
+	// the injector's seeded RNG) so concurrent retriers desynchronize.
+	JitterFrac float64
+}
+
+// fillDefaults sets the paper-scale defaults for any zero field.
+func (r *RetryPolicy) fillDefaults() {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 4
+	}
+	if r.AttemptTimeout <= 0 {
+		r.AttemptTimeout = 100 * sim.Microsecond
+	}
+	if r.BaseBackoff <= 0 {
+		r.BaseBackoff = 10 * sim.Microsecond
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = sim.Millisecond
+	}
+	if r.JitterFrac <= 0 {
+		r.JitterFrac = 0.25
+	}
+}
+
+// backoff returns the capped exponential delay after the attempt-th
+// consecutive failure (attempt ≥ 1).
+func (r *RetryPolicy) backoff(attempt int) sim.Time {
+	d := r.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= r.MaxBackoff {
+			return r.MaxBackoff
+		}
+	}
+	if d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	return d
+}
+
+// remoteRead fetches bytes from the far node through whatever weather
+// the fault injector schedules: NACKs and timeouts are retried with
+// capped exponential backoff + jitter; after MaxAttempts consecutive
+// failures the path records a give-up and sits out the outage in
+// degraded mode before starting a fresh round. The fault path can never
+// abandon the page, so this only returns on success. With no injector
+// it is exactly NIC.Read.
+func (s *System) remoteRead(p *sim.Proc, bytes int64) {
+	if s.FaultInj == nil {
+		s.NIC.Read(p, bytes)
+		return
+	}
+	pol := &s.Cfg.Retry
+	attempt := 0
+	for {
+		_, res := s.NIC.TryRead(p, bytes, pol.AttemptTimeout)
+		if res == nic.ReadOK {
+			return
+		}
+		if res == nic.ReadTimeout {
+			s.FaultTimeouts.Inc()
+		}
+		attempt++
+		if attempt >= pol.MaxAttempts {
+			s.FaultGiveUps.Inc()
+			s.degradedWait(p)
+			attempt = 0
+			continue
+		}
+		s.FaultRetries.Inc()
+		d := s.FaultInj.Jitter(pol.backoff(attempt), pol.JitterFrac)
+		t0 := p.Now()
+		p.Sleep(d)
+		s.RetryWait.Record(int64(p.Now() - t0))
+	}
+}
+
+// degradedWait parks p until the remote node's next scheduled recovery
+// (or one MaxBackoff when the injector reports the node up but ops keep
+// failing), accounting the time as degraded. This is the degraded mode:
+// fault-path threads and evictors stop hammering a dead link and the
+// time they lose is observable in Metrics.
+func (s *System) degradedWait(p *sim.Proc) {
+	now := p.Now()
+	until := s.FaultInj.NextRecovery(now)
+	if until <= now {
+		until = now + s.Cfg.Retry.MaxBackoff
+	}
+	s.Degraded.Enter(int64(now))
+	p.Sleep(until - now)
+	s.Degraded.Exit(int64(p.Now()))
+}
+
+// awaitWriteback waits for the batch's RDMA write and, when the fault
+// injector drops it, re-posts the write until it sticks — an eviction
+// may not reclaim frames whose content never reached the far node.
+// Consecutive failures back off exponentially; during outages the
+// evictor throttles in degraded mode instead of spinning. With no
+// injector the completion cannot fail and this is exactly one Wait.
+func (s *System) awaitWriteback(p *sim.Proc, eb *ebatch) {
+	c := eb.rdma
+	attempt := 0
+	for c != nil {
+		c.Wait(p)
+		if !c.Failed() {
+			return
+		}
+		if c.TimedOut() {
+			s.EvictTimeouts.Inc()
+		}
+		s.EvictRetries.Inc()
+		attempt++
+		if s.FaultInj.Down(p.Now()) {
+			s.degradedWait(p)
+			attempt = 0
+		} else {
+			p.Sleep(s.FaultInj.Jitter(s.Cfg.Retry.backoff(attempt), s.Cfg.Retry.JitterFrac))
+		}
+		c = s.NIC.TryPostWrite(p, eb.wbBytes, s.Cfg.Retry.AttemptTimeout)
+	}
+}

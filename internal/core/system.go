@@ -5,6 +5,7 @@ import (
 
 	"mage/internal/apic"
 	"mage/internal/buddy"
+	"mage/internal/faultinject"
 	"mage/internal/invariant"
 	"mage/internal/lru"
 	"mage/internal/nic"
@@ -59,6 +60,18 @@ type System struct {
 	// as a Chrome trace (see internal/trace).
 	Trace *trace.Recorder
 
+	// Fault injection / robustness (nil and zero unless Cfg.FaultPlan
+	// enables injection). FaultInj is shared with the NIC; the counters
+	// observe the retry layer in internal/core/retry.go.
+	FaultInj      *faultinject.Injector
+	FaultRetries  stats.Counter // fault-path attempts retried after NACK/timeout
+	FaultTimeouts stats.Counter // fault-path attempts that burned a full AttemptTimeout
+	FaultGiveUps  stats.Counter // rounds abandoned after MaxAttempts (→ degraded mode)
+	EvictRetries  stats.Counter // writeback posts repeated after a dropped write
+	EvictTimeouts stats.Counter // writeback drops that were timeouts
+	RetryWait     *stats.Histogram
+	Degraded      stats.Spans
+
 	// Metrics (all in virtual time / simulated events).
 	FaultLatency *stats.Histogram
 	FaultBreak   *stats.Breakdown
@@ -101,6 +114,15 @@ func NewSystem(cfg Config) (*System, error) {
 		evictKick:    sim.NewWaitQueue(eng, "evict-kick"),
 		FaultLatency: stats.NewHistogram(),
 		FaultBreak:   stats.NewBreakdown(),
+		RetryWait:    stats.NewHistogram(),
+	}
+	if cfg.FaultPlan.Enabled() {
+		inj, err := faultinject.New(*cfg.FaultPlan)
+		if err != nil {
+			return nil, err
+		}
+		s.FaultInj = inj
+		s.NIC.SetFaultInjector(inj)
 	}
 	s.Shooter = tlbsim.NewShooter(s.Fabric, machine, costs.TLB, cfg.TLBEntries)
 	s.AS = pgtable.New(eng, cfg.TotalPages, cfg.PTLock, cfg.PTShards, costs.PT)
@@ -363,11 +385,12 @@ func (s *System) Fault(p *sim.Proc, tid int, core topo.CoreID, page uint64) {
 	tSwap := p.Now()
 
 	// FP₂: fetch the page — or clear a fresh frame for anonymous memory
-	// that has no remote content yet.
+	// that has no remote content yet. remoteRead retries through injected
+	// faults; without a FaultPlan it is exactly NIC.Read.
 	if zeroFill {
 		p.Sleep(s.Costs.ZeroFill)
 	} else {
-		s.NIC.Read(p, nic.PageSize)
+		s.remoteRead(p, nic.PageSize)
 	}
 	tRead := p.Now()
 
@@ -480,6 +503,30 @@ func (s *System) prefetchAsync(core topo.CoreID, pages []uint64) {
 				s.AS.AbortFault(p, pg)
 				s.PrefetchDrop.Inc()
 				s.kickEvictors()
+				return
+			}
+			if s.FaultInj != nil {
+				// A prefetch is a bet, not an obligation: one attempt, and
+				// on any injected failure the prediction is dropped before
+				// its swap slot is touched.
+				if _, res := s.NIC.TryRead(p, nic.PageSize, s.Cfg.Retry.AttemptTimeout); res != nic.ReadOK {
+					s.AS.AbortFault(p, pg)
+					s.Alloc.Free(p, core, f)
+					s.PrefetchDrop.Inc()
+					return
+				}
+				if s.remoteOf != nil {
+					if e := s.remoteOf[pg]; e != swapspace.NilEntry {
+						s.Swap.Free(p, e)
+						s.remoteOf[pg] = swapspace.NilEntry
+					}
+				}
+				s.AS.CompleteFault(p, pg, f)
+				s.Acct.Insert(p, core, pg)
+				s.Prefetched.Inc()
+				if s.freeFrames() < s.Cfg.lowWatermarkFrames() {
+					s.kickEvictors()
+				}
 				return
 			}
 			if s.remoteOf != nil {

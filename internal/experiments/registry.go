@@ -33,6 +33,7 @@ var registry = map[string]Runner{
 	"extevict":   ExtEvictors,
 	"extacct":    ExtAccounting,
 	"extbackend": ExtBackends,
+	"extfault":   ExtFaultTolerance,
 	"claims":     Claims,
 }
 

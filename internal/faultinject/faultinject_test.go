@@ -1,0 +1,177 @@
+package faultinject
+
+import (
+	"testing"
+
+	"mage/internal/sim"
+)
+
+func TestDeriveSeedStableAndDistinct(t *testing.T) {
+	a := DeriveSeed(7, "extfault", "MageLib", "0.01")
+	b := DeriveSeed(7, "extfault", "MageLib", "0.01")
+	if a != b {
+		t.Fatalf("DeriveSeed not stable: %d vs %d", a, b)
+	}
+	seen := map[int64]string{}
+	cases := [][]string{
+		{"extfault", "MageLib", "0.01"},
+		{"extfault", "MageLib", "0.02"},
+		{"extfault", "Hermit", "0.01"},
+		{"extfault", "MageLib0.01"}, // separator must keep this distinct
+		{"ext", "faultMageLib", "0.01"},
+	}
+	for _, parts := range cases {
+		s := DeriveSeed(7, parts...)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("seed collision between %v and %s", parts, prev)
+		}
+		seen[s] = parts[0] + "|" + parts[1]
+	}
+	if DeriveSeed(7, "x") == DeriveSeed(8, "x") {
+		t.Error("master seed ignored")
+	}
+}
+
+func TestOutcomeStreamDeterministic(t *testing.T) {
+	plan := Plan{
+		Seed:          DeriveSeed(1, "det"),
+		ReadFailProb:  0.2,
+		WriteFailProb: 0.1,
+		SpikeProb:     0.3,
+		SpikeMin:      100,
+		SpikeMax:      5000,
+		Outages:       []Window{{Start: 10_000, End: 20_000}},
+		Degraded:      []Window{{Start: 40_000, End: 50_000}},
+		DegradeFactor: 0.25,
+	}
+	a := MustNew(plan)
+	b := MustNew(plan)
+	for i := 0; i < 2000; i++ {
+		at := sim.Time(i * 37)
+		oa, ob := a.ReadOutcome(at), b.ReadOutcome(at)
+		if oa != ob {
+			t.Fatalf("read outcome %d diverged: %+v vs %+v", i, oa, ob)
+		}
+		wa, wb := a.WriteOutcome(at), b.WriteOutcome(at)
+		if wa != wb {
+			t.Fatalf("write outcome %d diverged: %+v vs %+v", i, wa, wb)
+		}
+	}
+	if a.ReadNacks.Value() == 0 || a.Spikes.Value() == 0 {
+		t.Errorf("fault classes never fired: nacks=%d spikes=%d", a.ReadNacks.Value(), a.Spikes.Value())
+	}
+}
+
+func TestOutageWindows(t *testing.T) {
+	in := MustNew(Plan{Outages: PeriodicOutages(1000, 10_000, 2000, 3)})
+	cases := []struct {
+		at   sim.Time
+		down bool
+		rec  sim.Time
+	}{
+		{0, false, 0},
+		{1000, true, 3000},
+		{2999, true, 3000},
+		{3000, false, 3000},
+		{11_500, true, 13_000},
+		{21_500, true, 23_000},
+		{31_500, false, 31_500},
+	}
+	for _, c := range cases {
+		if got := in.Down(c.at); got != c.down {
+			t.Errorf("Down(%v) = %v, want %v", c.at, got, c.down)
+		}
+		if got := in.NextRecovery(c.at); got != c.rec {
+			t.Errorf("NextRecovery(%v) = %v, want %v", c.at, got, c.rec)
+		}
+	}
+	if in.ReadOutcome(1500).Drop != DropTimeout {
+		t.Error("op during outage did not time out")
+	}
+	if in.ReadTimeouts.Value() != 1 {
+		t.Errorf("timeout counter = %d, want 1", in.ReadTimeouts.Value())
+	}
+}
+
+func TestDegradedWindowRate(t *testing.T) {
+	in := MustNew(Plan{
+		Degraded:      []Window{{Start: 100, End: 200}},
+		DegradeFactor: 0.5,
+	})
+	if o := in.ReadOutcome(150); o.RateFactor != 0.5 || o.Drop != DropNone {
+		t.Errorf("in-window outcome = %+v", o)
+	}
+	if o := in.ReadOutcome(250); o.RateFactor != 1 {
+		t.Errorf("out-of-window rate factor = %v, want 1", o.RateFactor)
+	}
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	var pl *Plan
+	if pl.Enabled() {
+		t.Error("nil plan reports enabled")
+	}
+	in := MustNew(Plan{Seed: 3})
+	for i := 0; i < 100; i++ {
+		o := in.ReadOutcome(sim.Time(i))
+		if o.Drop != DropNone || o.ExtraLatency != 0 || o.RateFactor != 1 {
+			t.Fatalf("zero plan injected something: %+v", o)
+		}
+	}
+}
+
+func TestNewRejectsBadPlans(t *testing.T) {
+	bad := []Plan{
+		{ReadFailProb: -0.1},
+		{WriteFailProb: 1.5},
+		{SpikeProb: 0.5, SpikeMin: 100, SpikeMax: 50},
+		{Degraded: []Window{{Start: 0, End: 10}}, DegradeFactor: 0},
+		{Degraded: []Window{{Start: 0, End: 10}}, DegradeFactor: 2},
+	}
+	for i, pl := range bad {
+		if _, err := New(pl); err == nil {
+			t.Errorf("plan %d accepted: %+v", i, pl)
+		}
+	}
+}
+
+func TestOverlappingWindowsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping outage windows accepted")
+		}
+	}()
+	MustNew(Plan{Outages: []Window{{Start: 0, End: 100}, {Start: 50, End: 150}}})
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	a := MustNew(Plan{Seed: 11})
+	b := MustNew(Plan{Seed: 11})
+	for i := 0; i < 1000; i++ {
+		ja := a.Jitter(1000, 0.25)
+		if jb := b.Jitter(1000, 0.25); ja != jb {
+			t.Fatalf("jitter diverged at %d: %v vs %v", i, ja, jb)
+		}
+		if ja < 750 || ja > 1250 {
+			t.Fatalf("jitter %v outside ±25%% of 1000", ja)
+		}
+	}
+	if got := a.Jitter(0, 0.25); got != 0 {
+		t.Errorf("Jitter(0) = %v", got)
+	}
+	if got := a.Jitter(500, 0); got != 500 {
+		t.Errorf("Jitter(frac=0) = %v, want 500", got)
+	}
+}
+
+func TestPeriodicOutages(t *testing.T) {
+	if w := PeriodicOutages(0, 0, 10, 3); w != nil {
+		t.Error("invalid period accepted")
+	}
+	// down > period clamps so windows stay disjoint.
+	ws := PeriodicOutages(0, 100, 500, 3)
+	MustNew(Plan{Outages: ws}) // must not panic
+	if len(ws) != 3 || ws[1].Start != 100 || ws[1].End != 200 {
+		t.Errorf("clamped windows = %+v", ws)
+	}
+}

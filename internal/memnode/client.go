@@ -1,0 +1,404 @@
+package memnode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync" //magevet:ok memnode is a real TCP client, not virtual-time simulation code
+	"time" //magevet:ok real network deadlines and backoff need wall-clock time
+)
+
+// Options tunes the client's robustness behavior: connection and per-op
+// deadlines, and the reconnect/retry policy. It mirrors the DES retry
+// layer (core.RetryPolicy) in the real world.
+type Options struct {
+	// DialTimeout bounds each (re)connection attempt.
+	DialTimeout time.Duration
+	// IOTimeout bounds each request round trip (write + response read).
+	IOTimeout time.Duration
+	// MaxAttempts is how many times one op is tried across reconnects
+	// before the error is surfaced. Page ops (READ/WRITE/REGISTER) are
+	// idempotent, so retry-after-reconnect is always safe.
+	MaxAttempts int
+	// BaseBackoff doubles per consecutive failure up to MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// DefaultOptions returns the production defaults: patient enough to ride
+// out a memnode restart, bounded enough to surface a dead node.
+func DefaultOptions() Options {
+	return Options{
+		DialTimeout: 2 * time.Second,
+		IOTimeout:   5 * time.Second,
+		MaxAttempts: 8,
+		BaseBackoff: 20 * time.Millisecond,
+		MaxBackoff:  time.Second,
+	}
+}
+
+func (o *Options) fillDefaults() {
+	d := DefaultOptions()
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = d.DialTimeout
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = d.IOTimeout
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = d.MaxAttempts
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = d.BaseBackoff
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = d.MaxBackoff
+	}
+}
+
+// ClientStats counts the client's robustness events. All zero on a
+// healthy connection.
+type ClientStats struct {
+	// Retries counts op attempts beyond the first.
+	Retries uint64
+	// Reconnects counts successful re-dials after the initial connect.
+	Reconnects uint64
+	// RegionReplays counts REGISTER replays after a server lost a region
+	// (i.e. restarted).
+	RegionReplays uint64
+	// Timeouts counts attempts that failed on an expired deadline.
+	Timeouts uint64
+}
+
+// region is the client-side record of a region this client registered:
+// the stable handle the caller holds (the region's original server ID)
+// maps to the server's current — restart-volatile — ID plus the size
+// needed to replay the REGISTER after a restart.
+type region struct {
+	size  int64
+	srvID uint64
+}
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("memnode: client closed")
+
+// serverError is a terminal statusErr response: the server understood
+// the request and rejected it, so retrying cannot help and the
+// connection remains healthy.
+type serverError struct{ msg string }
+
+func (e *serverError) Error() string { return "memnode: " + e.msg }
+
+// Client is one connection to a memory node, hardened for the real
+// world: every op has a deadline, a broken connection is re-dialed with
+// capped exponential backoff, and idempotent ops are retried across
+// reconnects — including transparent REGISTER replay when the server
+// restarted and lost its regions. Methods are safe for sequential use;
+// open one client per worker for parallel IO.
+type Client struct {
+	addr string
+	opts Options
+
+	mu      sync.Mutex
+	conn    net.Conn // nil when broken; re-dialed on next op
+	hdr     [25]byte
+	regions map[uint64]*region // regions registered BY this client
+	closed  bool
+	dialed  bool // first connect done (later dials count as reconnects)
+
+	stats ClientStats // guarded by mu
+}
+
+// Dial connects to a memory node with DefaultOptions.
+func Dial(addr string) (*Client, error) {
+	return DialOptions(addr, DefaultOptions())
+}
+
+// DialOptions connects with explicit robustness options. The initial
+// connection is established eagerly so configuration errors surface
+// here, not on the first op.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	opts.fillDefaults()
+	c := &Client{
+		addr:    addr,
+		opts:    opts,
+		regions: make(map[uint64]*region),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.reconnectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the connection; in-flight retry loops abort.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Metrics returns a snapshot of the robustness counters.
+func (c *Client) Metrics() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// reconnectLocked (re-)establishes the TCP connection.
+func (c *Client) reconnectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("memnode: dial: %w", err)
+	}
+	c.conn = conn
+	if c.dialed {
+		c.stats.Reconnects++
+	}
+	c.dialed = true
+	return nil
+}
+
+// breakLocked marks the connection poisoned — a short read, a protocol
+// violation, or any IO error leaves unknown bytes in flight, so the only
+// safe move is to drop the stream and re-dial before the next attempt.
+func (c *Client) breakLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// backoff returns the capped exponential delay after the attempt-th
+// consecutive failure (attempt ≥ 1).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= c.opts.MaxBackoff {
+			return c.opts.MaxBackoff
+		}
+	}
+	if d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	return d
+}
+
+// do runs one idempotent op with the full robustness stack: per-attempt
+// deadlines, reconnect-on-poison, capped backoff between attempts, and
+// lazy REGISTER replay when the server reports the region unknown.
+// handle is the caller's stable region handle (ignored for REGISTER and
+// STAT).
+func (c *Client) do(op byte, handle uint64, offset, length int64, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		if c.closed {
+			return nil, ErrClosed
+		}
+		if attempt > 1 {
+			c.stats.Retries++
+			d := c.backoff(attempt - 1)
+			// Sleep without holding the lock so Close/Metrics stay live.
+			c.mu.Unlock()
+			time.Sleep(d) //magevet:ok real-world reconnect backoff on a TCP client
+			c.mu.Lock()
+			if c.closed {
+				return nil, ErrClosed
+			}
+		}
+		if c.conn == nil {
+			if err := c.reconnectLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		// Translate the stable handle to the server's current region ID.
+		// Handles for regions registered by another client pass through
+		// unchanged (region IDs are server-global); only locally
+		// registered regions can be replayed after a restart.
+		srvID := handle
+		if reg, ok := c.regions[handle]; ok {
+			srvID = reg.srvID
+		}
+		body, err := c.doOnce(op, srvID, offset, length, payload)
+		if err == nil {
+			return body, nil
+		}
+		var se *serverError
+		if errors.As(err, &se) {
+			return nil, se // terminal; connection stays healthy
+		}
+		if errors.Is(err, errRegionLost) {
+			if _, ok := c.regions[handle]; !ok {
+				// Not a region we registered — a genuinely bad ID, or a
+				// shared region we cannot replay. Terminal either way.
+				return nil, &serverError{msg: err.Error()}
+			}
+			// The server is up but forgot the region: it restarted. Replay
+			// the REGISTER on this handle and retry the op.
+			if rerr := c.replayRegionLocked(handle); rerr != nil {
+				lastErr = rerr
+				continue
+			}
+			lastErr = err
+			continue
+		}
+		// IO/protocol error: the stream is poisoned.
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			c.stats.Timeouts++
+		}
+		c.breakLocked()
+		lastErr = err
+	}
+	return nil, fmt.Errorf("memnode: op %d failed after %d attempts: %w", op, c.opts.MaxAttempts, lastErr)
+}
+
+// errRegionLost is doOnce's signal that the server answered
+// statusErrRegion.
+var errRegionLost = errors.New("memnode: server lost region")
+
+// doOnce performs exactly one request round trip on the live connection.
+func (c *Client) doOnce(op byte, srvID uint64, offset, length int64, payload []byte) ([]byte, error) {
+	deadline := time.Now().Add(c.opts.IOTimeout) //magevet:ok per-op network deadline
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	c.hdr[0] = op
+	binary.LittleEndian.PutUint64(c.hdr[1:], srvID)
+	binary.LittleEndian.PutUint64(c.hdr[9:], uint64(offset))
+	binary.LittleEndian.PutUint64(c.hdr[17:], uint64(length))
+	if _, err := c.conn.Write(c.hdr[:]); err != nil {
+		return nil, err
+	}
+	if len(payload) > 0 {
+		if _, err := c.conn.Write(payload); err != nil {
+			return nil, err
+		}
+	}
+	var rhdr [9]byte
+	if _, err := io.ReadFull(c.conn, rhdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(rhdr[1:])
+	if n > MaxIO {
+		return nil, fmt.Errorf("memnode: oversized response %d", n)
+	}
+	var body []byte
+	if n > 0 {
+		body = make([]byte, n)
+		if _, err := io.ReadFull(c.conn, body); err != nil {
+			return nil, err
+		}
+	}
+	switch rhdr[0] {
+	case statusOK:
+		return body, nil
+	case statusErrRegion:
+		return nil, fmt.Errorf("%w: %s", errRegionLost, body)
+	default:
+		return nil, &serverError{msg: string(body)}
+	}
+}
+
+// registerLocked sends one REGISTER and returns the server's region ID.
+func (c *Client) registerLocked(size int64) (uint64, error) {
+	body, err := c.doOnce(opRegister, 0, 0, size, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(body) != 8 {
+		return 0, fmt.Errorf("memnode: short register response (%d bytes)", len(body))
+	}
+	return binary.LittleEndian.Uint64(body), nil
+}
+
+// replayRegionLocked re-registers a handle's region on a restarted
+// server. The region's content is gone with the old server; the paging
+// systems tolerate that the same way they tolerate a fresh remote node —
+// pages fault back in from the new (zeroed) backing.
+func (c *Client) replayRegionLocked(handle uint64) error {
+	reg, ok := c.regions[handle]
+	if !ok {
+		return fmt.Errorf("memnode: unknown region handle %d", handle)
+	}
+	srvID, err := c.registerLocked(reg.size)
+	if err != nil {
+		var se *serverError
+		if errors.As(err, &se) {
+			return se
+		}
+		c.breakLocked()
+		return err
+	}
+	reg.srvID = srvID
+	c.stats.RegionReplays++
+	return nil
+}
+
+// Register sets up a memory region of size bytes and returns a stable
+// handle for it: the region ID the server issued. The handle survives
+// server restarts — ops that hit a restarted server transparently
+// re-register the region (at its original size, zero-filled) and retry.
+func (c *Client) Register(size int64) (uint64, error) {
+	body, err := c.do(opRegister, 0, 0, size, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(body) != 8 {
+		return 0, fmt.Errorf("memnode: short register response (%d bytes)", len(body))
+	}
+	id := binary.LittleEndian.Uint64(body)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.regions[id] = &region{size: size, srvID: id}
+	return id, nil
+}
+
+// Read performs a one-sided read of length bytes at offset.
+func (c *Client) Read(handle uint64, offset, length int64) ([]byte, error) {
+	if length <= 0 || length > MaxIO {
+		return nil, fmt.Errorf("memnode: bad read length %d", length)
+	}
+	return c.do(opRead, handle, offset, length, nil)
+}
+
+// Write performs a one-sided write of data at offset.
+func (c *Client) Write(handle uint64, offset int64, data []byte) error {
+	if len(data) == 0 || len(data) > MaxIO {
+		return fmt.Errorf("memnode: bad write length %d", len(data))
+	}
+	_, err := c.do(opWrite, handle, offset, int64(len(data)), data)
+	return err
+}
+
+// Stat fetches server statistics.
+func (c *Client) Stat() (Stats, error) {
+	body, err := c.do(opStat, 0, 0, 0, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	if len(body) != 48 {
+		return Stats{}, fmt.Errorf("memnode: short stat response (%d bytes)", len(body))
+	}
+	return Stats{
+		Regions:    binary.LittleEndian.Uint64(body[0:]),
+		UsedBytes:  binary.LittleEndian.Uint64(body[8:]),
+		ReadOps:    binary.LittleEndian.Uint64(body[16:]),
+		WriteOps:   binary.LittleEndian.Uint64(body[24:]),
+		BytesRead:  binary.LittleEndian.Uint64(body[32:]),
+		BytesWrite: binary.LittleEndian.Uint64(body[40:]),
+	}, nil
+}

@@ -1,0 +1,71 @@
+package memnode
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+)
+
+// fuzzServer builds a listener-less Server with one pre-registered
+// 4 MiB region (ID 1) so READ/WRITE frames can hit a real target.
+func fuzzServer() *Server {
+	s := &Server{
+		regions:  make(map[uint64][][]byte),
+		sizes:    make(map[uint64]int64),
+		nextID:   2,
+		capacity: 64 << 20,
+		used:     4 << 20,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.regions[1] = [][]byte{make([]byte, ChunkBytes), make([]byte, ChunkBytes)}
+	s.sizes[1] = 4 << 20
+	return s
+}
+
+func frame(op byte, regionID uint64, offset, length int64, payload []byte) []byte {
+	buf := make([]byte, 25+len(payload))
+	buf[0] = op
+	binary.LittleEndian.PutUint64(buf[1:], regionID)
+	binary.LittleEndian.PutUint64(buf[9:], uint64(offset))
+	binary.LittleEndian.PutUint64(buf[17:], uint64(length))
+	copy(buf[25:], payload)
+	return buf
+}
+
+// FuzzServeRequest feeds arbitrary byte streams straight into the
+// request decoder. The server must never panic, never allocate
+// unboundedly (bad lengths are rejected before allocation), and must
+// always terminate the handler when the stream ends.
+func FuzzServeRequest(f *testing.F) {
+	// Seed corpus: one valid frame of each op, then hostile variants.
+	f.Add(frame(opRegister, 0, 0, 1<<20, nil))
+	f.Add(frame(opRead, 1, 4096, 4096, nil))
+	f.Add(frame(opWrite, 1, 0, 8, []byte("pagedata")))
+	f.Add(frame(opStat, 0, 0, 0, nil))
+	f.Add(frame(opRead, 1, -4096, 4096, nil))                                     // negative offset
+	f.Add(frame(opRead, 1, 0, MaxIO+1, nil))                                      // oversized read
+	f.Add(frame(opWrite, 1, 0, 1<<40, nil))                                       // absurd write length
+	f.Add(frame(opRegister, 0, 0, 1<<62, nil))                                    // absurd register size
+	f.Add(frame(opRead, 999, 0, 4096, nil))                                       // unknown region
+	f.Add(frame(0xEE, 0, 0, 0, nil))                                              // bad opcode
+	f.Add([]byte{opWrite})                                                        // truncated header
+	f.Add(append(frame(opWrite, 1, 0, 64, nil), "short"...))                      // truncated payload
+	f.Add(append(frame(opStat, 0, 0, 0, nil), frame(opRead, 1, 0, 4096, nil)...)) // pipelined
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := fuzzServer()
+		srvConn, cliConn := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s.serve(srvConn)
+			srvConn.Close()
+		}()
+		// Drain responses so serve never blocks on a full pipe.
+		go io.Copy(io.Discard, cliConn)
+		cliConn.Write(data)
+		cliConn.Close()
+		<-done
+	})
+}

@@ -36,8 +36,15 @@ const (
 
 // Status codes.
 const (
-	statusOK  = 0
+	statusOK = 0
+	// statusErr is a terminal error: the request was understood and
+	// rejected (bad bounds, capacity, bad opcode). Retrying is useless.
 	statusErr = 1
+	// statusErrRegion means the region ID is unknown — after a server
+	// restart every pre-crash region reads this way. The client reacts
+	// by replaying the REGISTER for its stable handle and retrying; page
+	// ops are idempotent so the replay is safe.
+	statusErrRegion = 2
 )
 
 // ChunkBytes is the backing allocation granularity (a 2 MiB huge page).
@@ -55,6 +62,10 @@ type Server struct {
 	nextID   uint64
 	capacity int64
 	used     int64
+
+	// conns tracks live connections so Close can unblock handlers
+	// parked in ReadFull on idle clients.
+	conns map[net.Conn]struct{}
 
 	// Stats (atomic; served by STAT).
 	ReadOps    atomic.Uint64
@@ -82,6 +93,7 @@ func NewServer(addr string, capacity int64) (*Server, error) {
 		sizes:    make(map[uint64]int64),
 		nextID:   1,
 		capacity: capacity,
+		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop() //magevet:ok real network daemon: one accept loop per server
@@ -92,9 +104,15 @@ func NewServer(addr string, capacity int64) (*Server, error) {
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the server and waits for connection handlers to finish.
+// Live connections are closed so handlers parked mid-read return.
 func (s *Server) Close() error {
 	s.closed.Store(true)
 	err := s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns { //magevet:ok close-all: each conn is closed exactly once, order cannot matter
+		conn.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -106,11 +124,24 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		//magevet:ok real network daemon: one handler goroutine per connection
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			s.serve(conn)
 		}()
 	}
@@ -161,8 +192,12 @@ func respond(conn net.Conn, payload []byte) error {
 }
 
 func respondErr(conn net.Conn, msg string) error {
+	return respondErrCode(conn, statusErr, msg)
+}
+
+func respondErrCode(conn net.Conn, code byte, msg string) error {
 	hdr := make([]byte, 9)
-	hdr[0] = statusErr
+	hdr[0] = code
 	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(msg)))
 	if _, err := conn.Write(hdr); err != nil {
 		return err
@@ -171,9 +206,16 @@ func respondErr(conn net.Conn, msg string) error {
 	return err
 }
 
+// errUnknownRegion marks lookups of region IDs the server has never
+// issued (or lost in a restart); it maps to statusErrRegion on the wire.
+var errUnknownRegion = errors.New("unknown region")
+
 func (s *Server) handleRegister(conn net.Conn, size int64) error {
-	if size <= 0 {
-		return respondErr(conn, "register: non-positive size")
+	// Bounds-check before any allocation: size is attacker-controlled
+	// wire input, and size > capacity also rules out the used+size
+	// overflow a huge value could otherwise trigger.
+	if size <= 0 || size > s.capacity {
+		return respondErr(conn, fmt.Sprintf("register: bad size %d (capacity %d)", size, s.capacity))
 	}
 	s.mu.Lock()
 	if s.used+size > s.capacity {
@@ -206,12 +248,20 @@ func (s *Server) regionAt(regionID uint64, offset, length int64) ([][]byte, erro
 	defer s.mu.Unlock()
 	chunks, ok := s.regions[regionID]
 	if !ok {
-		return nil, fmt.Errorf("unknown region %d", regionID)
+		return nil, fmt.Errorf("%w %d", errUnknownRegion, regionID)
 	}
 	if offset < 0 || offset+length > s.sizes[regionID] {
 		return nil, fmt.Errorf("out of bounds [%d,%d) in %d", offset, offset+length, s.sizes[regionID])
 	}
 	return chunks, nil
+}
+
+// errStatus maps a validation error to its wire status code.
+func errStatus(err error) byte {
+	if errors.Is(err, errUnknownRegion) {
+		return statusErrRegion
+	}
+	return statusErr
 }
 
 func chunkedCopy(chunks [][]byte, offset int64, buf []byte, toRegion bool) {
@@ -235,7 +285,7 @@ func chunkedCopy(chunks [][]byte, offset int64, buf []byte, toRegion bool) {
 func (s *Server) handleRead(conn net.Conn, regionID uint64, offset, length int64) error {
 	chunks, err := s.regionAt(regionID, offset, length)
 	if err != nil {
-		return respondErr(conn, err.Error())
+		return respondErrCode(conn, errStatus(err), err.Error())
 	}
 	buf := make([]byte, length)
 	chunkedCopy(chunks, offset, buf, false)
@@ -254,7 +304,7 @@ func (s *Server) handleWrite(conn net.Conn, regionID uint64, offset, length int6
 	}
 	chunks, err := s.regionAt(regionID, offset, length)
 	if err != nil {
-		return respondErr(conn, err.Error())
+		return respondErrCode(conn, errStatus(err), err.Error())
 	}
 	chunkedCopy(chunks, offset, buf, true)
 	s.WriteOps.Add(1)
@@ -291,102 +341,4 @@ func (s *Server) handleStat(conn net.Conn) error {
 	binary.LittleEndian.PutUint64(buf[32:], st.BytesRead)
 	binary.LittleEndian.PutUint64(buf[40:], st.BytesWrite)
 	return respond(conn, buf)
-}
-
-// Client is one connection to a memory node. Methods are safe for
-// sequential use; open one client per worker for parallel IO.
-type Client struct {
-	conn net.Conn
-	mu   sync.Mutex
-	hdr  [25]byte
-}
-
-// Dial connects to a memory node.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("memnode: dial: %w", err)
-	}
-	return &Client{conn: conn}, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) request(op byte, regionID uint64, offset, length int64, payload []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hdr[0] = op
-	binary.LittleEndian.PutUint64(c.hdr[1:], regionID)
-	binary.LittleEndian.PutUint64(c.hdr[9:], uint64(offset))
-	binary.LittleEndian.PutUint64(c.hdr[17:], uint64(length))
-	if _, err := c.conn.Write(c.hdr[:]); err != nil {
-		return nil, err
-	}
-	if len(payload) > 0 {
-		if _, err := c.conn.Write(payload); err != nil {
-			return nil, err
-		}
-	}
-	var rhdr [9]byte
-	if _, err := io.ReadFull(c.conn, rhdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint64(rhdr[1:])
-	if n > MaxIO {
-		return nil, fmt.Errorf("memnode: oversized response %d", n)
-	}
-	var body []byte
-	if n > 0 {
-		body = make([]byte, n)
-		if _, err := io.ReadFull(c.conn, body); err != nil {
-			return nil, err
-		}
-	}
-	if rhdr[0] != statusOK {
-		return nil, errors.New("memnode: " + string(body))
-	}
-	return body, nil
-}
-
-// Register sets up a memory region of size bytes and returns its ID.
-func (c *Client) Register(size int64) (uint64, error) {
-	body, err := c.request(opRegister, 0, 0, size, nil)
-	if err != nil {
-		return 0, err
-	}
-	if len(body) != 8 {
-		return 0, fmt.Errorf("memnode: short register response (%d bytes)", len(body))
-	}
-	return binary.LittleEndian.Uint64(body), nil
-}
-
-// Read performs a one-sided read of length bytes at offset.
-func (c *Client) Read(regionID uint64, offset, length int64) ([]byte, error) {
-	return c.request(opRead, regionID, offset, length, nil)
-}
-
-// Write performs a one-sided write of data at offset.
-func (c *Client) Write(regionID uint64, offset int64, data []byte) error {
-	_, err := c.request(opWrite, regionID, offset, int64(len(data)), data)
-	return err
-}
-
-// Stat fetches server statistics.
-func (c *Client) Stat() (Stats, error) {
-	body, err := c.request(opStat, 0, 0, 0, nil)
-	if err != nil {
-		return Stats{}, err
-	}
-	if len(body) != 48 {
-		return Stats{}, fmt.Errorf("memnode: short stat response (%d bytes)", len(body))
-	}
-	return Stats{
-		Regions:    binary.LittleEndian.Uint64(body[0:]),
-		UsedBytes:  binary.LittleEndian.Uint64(body[8:]),
-		ReadOps:    binary.LittleEndian.Uint64(body[16:]),
-		WriteOps:   binary.LittleEndian.Uint64(body[24:]),
-		BytesRead:  binary.LittleEndian.Uint64(body[32:]),
-		BytesWrite: binary.LittleEndian.Uint64(body[40:]),
-	}, nil
 }

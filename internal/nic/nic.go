@@ -17,6 +17,7 @@
 package nic
 
 import (
+	"mage/internal/faultinject"
 	"mage/internal/sim"
 	"mage/internal/stats"
 )
@@ -133,6 +134,12 @@ type NIC struct {
 	tx        *sim.Mutex // serialization of outbound data (evictions out)
 	stackLock *sim.Mutex // kernel stack submission lock (nil for libOS)
 
+	// inj, when non-nil, decides the fate of TryRead/TryPostWrite ops.
+	// The nil case falls straight through to the fault-free paths, so a
+	// NIC without an injector is event-for-event identical to one built
+	// before fault injection existed.
+	inj *faultinject.Injector
+
 	BytesRead    stats.Counter
 	BytesWritten stats.Counter
 	Reads        stats.Counter
@@ -168,8 +175,14 @@ func (n *NIC) Costs() Costs { return n.costs }
 
 // serialize models the wire time of a transfer on the given link.
 func (n *NIC) serialize(p *sim.Proc, link *sim.Mutex, bytes int64) {
+	n.serializeAt(p, link, bytes, 1)
+}
+
+// serializeAt is serialize with the line rate scaled by factor — the
+// fault injector's degraded-link windows run transfers at factor < 1.
+func (n *NIC) serializeAt(p *sim.Proc, link *sim.Mutex, bytes int64, factor float64) {
 	link.Lock(p)
-	p.Sleep(sim.Time(float64(bytes) / n.costs.BytesPerNs))
+	p.Sleep(sim.Time(float64(bytes) / (n.costs.BytesPerNs * factor)))
 	link.Unlock(p)
 }
 
@@ -204,10 +217,23 @@ type Completion struct {
 	done bool
 	q    *sim.WaitQueue
 	at   sim.Time
+
+	// Fault-injection verdicts: set before done when the write was
+	// dropped. A failed write never counts toward Writes/BytesWritten.
+	failed   bool
+	timedOut bool
 }
 
 // Done reports whether the operation has completed.
 func (c *Completion) Done() bool { return c.done }
+
+// Failed reports whether the write was dropped by the fault injector
+// (NACK or timeout). Only meaningful once Done/Wait returns.
+func (c *Completion) Failed() bool { return c.failed }
+
+// TimedOut reports whether the failure was a timeout (no response at
+// all) rather than a NACK.
+func (c *Completion) TimedOut() bool { return c.timedOut }
 
 // Wait blocks p until the operation completes and returns the completion
 // time.

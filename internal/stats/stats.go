@@ -347,3 +347,57 @@ func (m *Meter) Rate(t int64, ops uint64) float64 {
 	}
 	return float64(dops) / (float64(dt) / 1e9)
 }
+
+// Spans accumulates total time spent inside a (possibly re-entered)
+// condition — e.g. how long fault paths sat in degraded mode. Enter/Exit
+// calls may nest across concurrent simulated procs: the span is open
+// while the depth is nonzero, and only the outermost Enter/Exit pair
+// moves the clock. Times are virtual-time int64 nanoseconds, so Spans is
+// simulation-side state like Counter and Histogram.
+type Spans struct {
+	depth   int
+	openAt  int64
+	totalNs int64
+	count   uint64
+}
+
+// Enter marks one waiter entering the condition at time t. The first
+// waiter opens a span.
+func (s *Spans) Enter(t int64) {
+	if s.depth == 0 {
+		s.openAt = t
+		s.count++
+	}
+	s.depth++
+}
+
+// Exit marks one waiter leaving at time t. The last waiter closes the
+// span and accrues its duration.
+func (s *Spans) Exit(t int64) {
+	if s.depth <= 0 {
+		panic("stats: Spans.Exit without matching Enter")
+	}
+	s.depth--
+	if s.depth == 0 {
+		s.totalNs += t - s.openAt
+	}
+}
+
+// Active reports whether any waiter is currently inside the condition.
+func (s *Spans) Active() bool { return s.depth > 0 }
+
+// Count returns how many distinct spans have been opened.
+func (s *Spans) Count() uint64 { return s.count }
+
+// TotalNs returns the accumulated closed-span time. If a span is still
+// open at time t, pass it to TotalAt instead for an up-to-date figure.
+func (s *Spans) TotalNs() int64 { return s.totalNs }
+
+// TotalAt returns accumulated span time as of t, including the still-open
+// span if any.
+func (s *Spans) TotalAt(t int64) int64 {
+	if s.depth > 0 && t > s.openAt {
+		return s.totalNs + (t - s.openAt)
+	}
+	return s.totalNs
+}

@@ -243,3 +243,46 @@ func BenchmarkHistogramRecord(b *testing.B) {
 		h.Record(int64(i & 0xffff))
 	}
 }
+
+func TestSpans(t *testing.T) {
+	var s Spans
+	if s.Active() || s.TotalNs() != 0 || s.Count() != 0 {
+		t.Fatal("zero Spans not empty")
+	}
+	s.Enter(100)
+	if !s.Active() || s.Count() != 1 {
+		t.Fatal("span not open after Enter")
+	}
+	if got := s.TotalAt(150); got != 50 {
+		t.Fatalf("TotalAt(150) = %d, want 50", got)
+	}
+	// Nested entry: only the outermost pair moves the clock.
+	s.Enter(120)
+	s.Exit(130)
+	if s.TotalNs() != 0 {
+		t.Fatalf("inner Exit accrued time: %d", s.TotalNs())
+	}
+	s.Exit(200)
+	if s.Active() || s.TotalNs() != 100 {
+		t.Fatalf("after close: active=%v total=%d", s.Active(), s.TotalNs())
+	}
+	// Second span accumulates.
+	s.Enter(300)
+	s.Exit(340)
+	if s.TotalNs() != 140 || s.Count() != 2 {
+		t.Fatalf("total=%d count=%d, want 140/2", s.TotalNs(), s.Count())
+	}
+	if got := s.TotalAt(999); got != 140 {
+		t.Fatalf("TotalAt with no open span = %d, want 140", got)
+	}
+}
+
+func TestSpansExitWithoutEnterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Exit did not panic")
+		}
+	}()
+	var s Spans
+	s.Exit(10)
+}
