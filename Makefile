@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DATE ?= $(shell date +%F)
 
-.PHONY: all build vet magevet test magecheck fmt check bench
+.PHONY: all build vet magevet test magecheck fmt check bench cover
 
 all: check
 
@@ -30,7 +30,19 @@ fmt:
 # ns/op, reported metrics such as events/s and retries/op) for diffing
 # across commits — robustness regressions show up next to perf ones.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineDispatch|BenchmarkParexpFigures|BenchmarkFaultPathMageLib|BenchmarkFaultToleranceMageLib' ./... \
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineDispatch|BenchmarkParexpFigures|BenchmarkFaultPathMageLib|BenchmarkFaultToleranceMageLib|BenchmarkColocateNode' ./... \
 		| tee /dev/stderr | $(GO) run ./cmd/benchsnap > BENCH_$(BENCH_DATE).json
+
+# Coverage floor for internal/core, set just under the level the
+# Node/Tenant split landed at so fault/eviction-path statements cannot
+# quietly fall out of the test net. CI fails below the floor.
+COVER_FLOOR_CORE ?= 90.0
+
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=mage/internal/core ./internal/... .
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "internal/core coverage: $${total}% (floor $(COVER_FLOOR_CORE)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR_CORE)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "internal/core coverage $${total}% fell below the $(COVER_FLOOR_CORE)% floor" >&2; exit 1; }
 
 check: build vet magevet test magecheck

@@ -126,6 +126,62 @@ func BenchmarkExtFaultTolerance(b *testing.B) { benchExperiment(b, "extfault") }
 // BenchmarkClaims runs the headline-claim self-check.
 func BenchmarkClaims(b *testing.B) { benchExperiment(b, "claims") }
 
+// BenchmarkColocateGrid regenerates the multi-tenant co-location sweep.
+func BenchmarkColocateGrid(b *testing.B) { benchExperiment(b, "colocate") }
+
+// BenchmarkColocateNode measures a four-tenant node directly (no grid):
+// host ns per simulated access with cross-tenant eviction pressure, plus
+// the isolation-relevant per-tenant counters — benchsnap records them so
+// co-location regressions show next to single-tenant perf.
+func BenchmarkColocateNode(b *testing.B) {
+	const nt, threads, pagesEach = 4, 2, 4096
+	cfg := mage.MageLib(nt*threads, nt*pagesEach, nt*pagesEach/2)
+	cfg.Sockets = 1
+	cfg.CoresPerSocket = 12
+	specs := make([]mage.TenantSpec, nt)
+	for i := range specs {
+		specs[i] = mage.TenantSpec{AppThreads: threads, TotalPages: pagesEach}
+	}
+	node, err := mage.NewNode(cfg, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := node.PrepopBudget()
+	for _, tn := range node.Tenants() {
+		tn.Prepopulate(budget / nt)
+	}
+	perThread := b.N/(nt*threads) + 1
+	streams := make([][]mage.AccessStream, nt)
+	for ti := range streams {
+		streams[ti] = make([]mage.AccessStream, threads)
+		for i := range streams[ti] {
+			tid := uint64(nt*ti + i)
+			n := 0
+			streams[ti][i] = mage.FuncStream(func() (mage.Access, bool) {
+				if n >= perThread {
+					return mage.Access{}, false
+				}
+				pg := (uint64(n)*7919 + tid*131) % pagesEach
+				n++
+				return mage.Access{Page: pg, Write: n%3 == 0}, true
+			})
+		}
+	}
+	b.ResetTimer()
+	results := node.RunTenants(streams, mage.RunOptions{})
+	var faults, evicted uint64
+	for _, res := range results {
+		if res.TotalAccesses() == 0 {
+			b.Fatal("a tenant ran no accesses")
+		}
+		faults += res.Metrics.MajorFaults
+		evicted += res.Metrics.EvictedPages
+	}
+	ops := float64(nt * threads * perThread)
+	b.ReportMetric(float64(faults)/ops, "faults/op")
+	b.ReportMetric(float64(evicted)/ops, "evicted/op")
+}
+
 // BenchmarkParexpFigures measures the parallel cell runner end-to-end on
 // a figure bundle: the same grids regenerated sequentially (Workers=1)
 // and with the full worker pool (Workers=0 → GOMAXPROCS). The ratio of

@@ -71,6 +71,33 @@ BenchmarkFaultToleranceMageLib-8   	    2048	     91540 ns/op	       210.0 degra
 	}
 }
 
+// TestParseColocateMetrics pins the units the multi-tenant co-location
+// bench reports (faults/op, evicted/op across the whole node): they must
+// land in the metrics map so cross-tenant isolation regressions are
+// diffable in BENCH_*.json like any other number.
+func TestParseColocateMetrics(t *testing.T) {
+	const line = `pkg: mage
+BenchmarkColocateNode-8   	    4096	     52210 ns/op	         0.4100 evicted/op	         0.3800 faults/op
+`
+	snap, err := parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(snap.Results))
+	}
+	m := snap.Results[0].Metrics
+	want := map[string]float64{
+		"faults/op":  0.3800,
+		"evicted/op": 0.4100,
+	}
+	for unit, v := range want {
+		if m[unit] != v {
+			t.Errorf("metric %q = %v, want %v", unit, m[unit], v)
+		}
+	}
+}
+
 func TestRunEmitsJSONAndExitCodes(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run(strings.NewReader(sample), &out, &errw); code != 0 {

@@ -1,0 +1,12 @@
+package core
+
+import "sync" // want syncimport
+
+// NodeLock guards shared tenant state with a host mutex — the DES core is
+// single-threaded by construction, so the import itself is the finding.
+type NodeLock struct {
+	mu sync.Mutex
+}
+
+// Lock exercises the mutex so the import is live.
+func (l *NodeLock) Lock() { l.mu.Lock() }

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tenant mirrors the production Node/Tenant split: per-application state
+// whose page set the shared node scans for victims.
+type Tenant struct {
+	ID    int
+	pages map[uint64]bool
+}
+
+// Node owns state shared across tenants.
+type Node struct {
+	tenants []*Tenant
+	byName  map[string]*Tenant
+}
+
+// VictimScan walks a tenant's resident map directly — flagged: map order
+// would pick different victims per run.
+func (n *Node) VictimScan(t *Tenant) []uint64 {
+	var out []uint64
+	for pg := range t.pages { // want rangemap
+		out = append(out, pg)
+	}
+	return out
+}
+
+// LookupAll walks the tenant name index — flagged.
+func (n *Node) LookupAll() []*Tenant {
+	var out []*Tenant
+	for _, t := range n.byName { // want rangemap
+		out = append(out, t)
+	}
+	return out
+}
+
+// Tenants iterates the id-ordered slice — never flagged.
+func (n *Node) Tenants() []*Tenant { return n.tenants }
+
+// JitterSeed draws from the global rand source — flagged.
+func JitterSeed() int64 {
+	return rand.Int63() // want globalrand
+}
+
+// DegradedUntil reads the host clock — flagged.
+func DegradedUntil() int64 {
+	return time.Now().UnixNano() // want wallclock
+}
+
+// SpawnEvictor runs a host goroutine inside the DES core — flagged.
+func (n *Node) SpawnEvictor(f func()) {
+	go f() // want goroutine
+}
+
+// SameRatio holds float equality outside costs.go/metrics.go, where the
+// floatcmp check does not apply — not flagged.
+func SameRatio(a, b float64) bool {
+	return a == b
+}

@@ -11,11 +11,12 @@ import (
 	"mage/internal/swapspace"
 	"mage/internal/tlbsim"
 	"mage/internal/topo"
-	"mage/internal/trace"
 )
 
-// victim is one page mid-eviction.
+// victim is one page mid-eviction. page is tenant-local; t owns it.
+// Victim selection is node-global: a batch may mix tenants.
 type victim struct {
+	t     *Tenant
 	page  uint64
 	frame buddy.Frame
 	dirty bool
@@ -41,19 +42,20 @@ type evictResult struct {
 }
 
 // SpawnEvictors launches the configured eviction threads. Ideal-mode
-// systems evict inline at zero cost and spawn none.
-func (s *System) SpawnEvictors() {
-	if s.Cfg.Ideal {
+// systems evict inline at zero cost and spawn none. Evictors are a node
+// resource: they serve all tenants from the shared accounting.
+func (n *Node) SpawnEvictors() {
+	if n.Cfg.Ideal {
 		return
 	}
-	for j := 0; j < s.Cfg.EvictorThreads; j++ {
+	for j := 0; j < n.Cfg.EvictorThreads; j++ {
 		j := j
-		core := s.Placement.Evictor[j]
+		core := n.Placement.Evictor[j]
 		name := fmt.Sprintf("evictor-%d", j)
-		if s.Cfg.Pipelined {
-			s.Eng.Spawn(name, func(p *sim.Proc) { s.pipelinedEvictor(p, j, core) })
+		if n.Cfg.Pipelined {
+			n.Eng.Spawn(name, func(p *sim.Proc) { n.pipelinedEvictor(p, j, core) })
 		} else {
-			s.Eng.Spawn(name, func(p *sim.Proc) { s.batchEvictor(p, j, core) })
+			n.Eng.Spawn(name, func(p *sim.Proc) { n.batchEvictor(p, j, core) })
 		}
 	}
 }
@@ -65,8 +67,8 @@ const evictorPollInterval = 50 * sim.Microsecond
 // under an eighth of local memory in total. The paper's TSB/RSB are
 // bounded buffers for the same reason; at realistic memory sizes the
 // bound never binds (3·4·256 pages ≪ an eighth of tens of GB).
-func (s *System) effectiveBatch(configured int) int {
-	limit := s.Cfg.LocalMemPages / (24 * s.Cfg.EvictorThreads)
+func (n *Node) effectiveBatch(configured int) int {
+	limit := n.Cfg.LocalMemPages / (24 * n.Cfg.EvictorThreads)
 	if limit < 1 {
 		limit = 1
 	}
@@ -79,20 +81,20 @@ func (s *System) effectiveBatch(configured int) int {
 // batchEvictor is the traditional sequential eviction loop (Hermit,
 // DiLOS): one batch at a time, each stage completing before the next
 // begins.
-func (s *System) batchEvictor(p *sim.Proc, id int, core topo.CoreID) {
-	for !s.stopped {
+func (n *Node) batchEvictor(p *sim.Proc, id int, core topo.CoreID) {
+	for !n.stopped {
 		// Eviction throttling: starting a batch while the remote node is
 		// down would only unmap pages it cannot write back; park until
 		// the scheduled recovery instead.
-		if s.FaultInj != nil && s.FaultInj.Down(p.Now()) {
-			s.degradedWait(p)
+		if n.FaultInj != nil && n.FaultInj.Down(p.Now()) {
+			n.evictorDegradedWait(p)
 			continue
 		}
-		if !s.underPressure() {
-			s.evictKick.WaitTimeout(p, evictorPollInterval)
+		if !n.underPressure() {
+			n.evictKick.WaitTimeout(p, evictorPollInterval)
 			continue
 		}
-		res := s.evictOnce(p, id, core, s.effectiveBatch(s.Cfg.BatchSize), false)
+		res := n.evictOnce(p, id, core, n.effectiveBatch(n.Cfg.BatchSize), false)
 		if res.evicted == 0 {
 			// Candidates dry (second chances, races): back off briefly.
 			p.Sleep(5 * sim.Microsecond)
@@ -103,22 +105,22 @@ func (s *System) batchEvictor(p *sim.Proc, id int, core topo.CoreID) {
 // evictOnce runs one complete sequential eviction batch. force bypasses
 // the demand clamp: a synchronously evicting fault-path thread needs a
 // frame immediately even if background evictors have frames in flight.
-func (s *System) evictOnce(p *sim.Proc, id int, core topo.CoreID, batch int, force bool) evictResult {
-	eb := s.scanAndUnmap(p, id, core, batch, force)
+func (n *Node) evictOnce(p *sim.Proc, id int, core topo.CoreID, batch int, force bool) evictResult {
+	eb := n.scanAndUnmap(p, id, core, batch, force)
 	if eb == nil {
 		return evictResult{}
 	}
 	// EP₂: TLB shootdown, synchronous.
 	t0 := p.Now()
-	for _, c := range s.postShootdowns(p, core, eb) {
+	for _, c := range n.postShootdowns(p, core, eb) {
 		c.Wait(p)
 	}
 	tlbTime := p.Now() - t0
 
 	// EP₄: write back, synchronous (re-posted through injected faults).
-	eb.rdma = s.postWriteback(p, eb)
-	s.awaitWriteback(p, eb)
-	s.reclaim(p, core, eb)
+	eb.rdma = n.postWriteback(p, eb)
+	n.awaitWriteback(p, eb)
+	n.reclaim(p, core, eb)
 	return evictResult{evicted: len(eb.victims), tlbTime: tlbTime}
 }
 
@@ -127,32 +129,32 @@ func (s *System) evictOnce(p *sim.Proc, id int, core topo.CoreID, batch int, for
 // unmapped, the previous batch waiting on TLB acknowledgements (TSB), and
 // the batch before that waiting on RDMA write completion (RSB). The two
 // wait stages overlap with work on the other batches.
-func (s *System) pipelinedEvictor(p *sim.Proc, id int, core topo.CoreID) {
+func (n *Node) pipelinedEvictor(p *sim.Proc, id int, core topo.CoreID) {
 	var tsb, rsb *ebatch
 	for {
-		if s.stopped && tsb == nil && rsb == nil {
+		if n.stopped && tsb == nil && rsb == nil {
 			return
 		}
 		// Eviction throttling: with nothing in flight and the remote node
 		// down, park until recovery rather than feeding the pipeline
 		// batches whose writebacks are doomed. In-flight batches keep
 		// draining through awaitWriteback's retry loop.
-		if s.FaultInj != nil && tsb == nil && rsb == nil && s.FaultInj.Down(p.Now()) {
-			s.degradedWait(p)
+		if n.FaultInj != nil && tsb == nil && rsb == nil && n.FaultInj.Down(p.Now()) {
+			n.evictorDegradedWait(p)
 			continue
 		}
-		pressure := s.underPressure()
+		pressure := n.underPressure()
 		if !pressure && tsb == nil && rsb == nil {
-			if s.stopped {
+			if n.stopped {
 				return
 			}
-			s.evictKick.WaitTimeout(p, evictorPollInterval)
+			n.evictKick.WaitTimeout(p, evictorPollInterval)
 			continue
 		}
 		// ① Scan the LRU partition and unmap a new batch.
 		var nb *ebatch
-		if pressure && !s.stopped {
-			nb = s.scanAndUnmap(p, id, core, s.effectiveBatch(s.Cfg.BatchSize), false)
+		if pressure && !n.stopped {
+			nb = n.scanAndUnmap(p, id, core, n.effectiveBatch(n.Cfg.BatchSize), false)
 		}
 		if nb == nil && tsb == nil && rsb == nil {
 			p.Sleep(5 * sim.Microsecond)
@@ -166,21 +168,21 @@ func (s *System) pipelinedEvictor(p *sim.Proc, id int, core topo.CoreID) {
 		}
 		// ② Initiate TLB flushes for the new batch (send cost only).
 		if nb != nil {
-			nb.tlb = s.postShootdowns(p, core, nb)
+			nb.tlb = n.postShootdowns(p, core, nb)
 		}
 		// ⑥ Wait for the RSB batch's RDMA writes (re-posting any the
 		// fault injector dropped: frames may not be reclaimed until
 		// their content has actually reached the far node).
 		if rsb != nil {
-			s.awaitWriteback(p, rsb)
+			n.awaitWriteback(p, rsb)
 		}
 		// ⑤ Initiate RDMA writes for the TSB batch's dirty pages.
 		if tsb != nil {
-			tsb.rdma = s.postWriteback(p, tsb)
+			tsb.rdma = n.postWriteback(p, tsb)
 		}
 		// ⑦ Reclaim the RSB batch's frames.
 		if rsb != nil {
-			s.reclaim(p, core, rsb)
+			n.reclaim(p, core, rsb)
 		}
 		rsb, tsb = tsb, nb
 	}
@@ -189,13 +191,16 @@ func (s *System) pipelinedEvictor(p *sim.Proc, id int, core topo.CoreID) {
 // scanAndUnmap is EP₁ plus the unmap prelude of EP₂: isolate candidates
 // from the accounting structure, unmap those whose accessed bit allows it,
 // and allocate their remote slots. Returns nil when no page was unmapped.
-// The victim target shrinks to the current eviction deficit so that low
-// demand is served with small batches and the pipeline never over-evicts;
-// like Linux's shrink loop, scanning continues past second-chance
-// rejections (up to a scan budget) until the target is met.
-func (s *System) scanAndUnmap(p *sim.Proc, id int, core topo.CoreID, batch int, force bool) *ebatch {
+// Candidates come from the node-wide accounting, so the batch may span
+// tenants: keys decode to (tenant, page) and each victim is unmapped in
+// its owner's address space. The victim target shrinks to the current
+// eviction deficit so that low demand is served with small batches and
+// the pipeline never over-evicts; like Linux's shrink loop, scanning
+// continues past second-chance rejections (up to a scan budget) until the
+// target is met.
+func (n *Node) scanAndUnmap(p *sim.Proc, id int, core topo.CoreID, batch int, force bool) *ebatch {
 	target := batch
-	if need := s.evictionDeficit(); !force && need < target {
+	if need := n.evictionDeficit(); !force && need < target {
 		if need <= 0 {
 			return nil
 		}
@@ -204,59 +209,71 @@ func (s *System) scanAndUnmap(p *sim.Proc, id int, core topo.CoreID, batch int, 
 	scanBudget := 4 * batch
 	eb := &ebatch{}
 	for len(eb.victims) < target && scanBudget > 0 {
-		n := target - len(eb.victims)
-		if n > scanBudget {
-			n = scanBudget
+		want := target - len(eb.victims)
+		if want > scanBudget {
+			want = scanBudget
 		}
-		cand := s.Acct.IsolateBatch(p, id, n)
+		cand := n.Acct.IsolateBatch(p, id, want)
 		if len(cand) == 0 {
 			break
 		}
 		scanBudget -= len(cand)
-		for _, pg := range cand {
-			r := s.AS.TryUnmap(p, pg, s.Cfg.HonorAccessedBit)
+		for _, key := range cand {
+			vt, pg := n.tenantPage(key)
+			r := vt.AS.TryUnmap(p, pg, n.Cfg.HonorAccessedBit)
 			if !r.OK {
 				// Second chance (or a race): the page stays resident.
-				s.Acct.Requeue(p, core, pg)
+				n.Acct.Requeue(p, core, key)
 				continue
 			}
-			if s.Cfg.LinuxMM {
+			if n.Cfg.LinuxMM {
 				// rmap walk, swap-cache insert, cgroup uncharge per page.
-				p.Sleep(s.Costs.Rmap + s.Costs.SwapCache + s.Costs.Cgroup)
+				p.Sleep(n.Costs.Rmap + n.Costs.SwapCache + n.Costs.Cgroup)
 			}
-			entry, ok := s.Swap.Alloc(p, pg)
+			entry, ok := n.Swap.Alloc(p, vt.swapBase+pg)
 			if !ok {
-				s.AS.AbortEvict(p, pg)
-				s.Acct.Requeue(p, core, pg)
+				vt.AS.AbortEvict(p, pg)
+				n.Acct.Requeue(p, core, key)
 				continue
 			}
-			eb.victims = append(eb.victims, victim{page: pg, frame: r.Frame, dirty: r.Dirty, entry: entry})
+			eb.victims = append(eb.victims, victim{t: vt, page: pg, frame: r.Frame, dirty: r.Dirty, entry: entry})
 		}
 	}
 	if len(eb.victims) == 0 {
 		return nil
 	}
-	s.inflight += len(eb.victims)
+	n.inflight += len(eb.victims)
 	return eb
 }
 
 // postShootdowns issues the batch's TLB invalidations in chunks of at
 // most Cfg.TLBBatch pages per shootdown (§4.2.1), paying only the send
-// cost; completions are returned for the pipeline to wait on.
-func (s *System) postShootdowns(p *sim.Proc, core topo.CoreID, eb *ebatch) []*tlbsim.Completion {
-	targets := s.shootdownTargets(core)
-	pages := make([]uint64, len(eb.victims))
-	for i, v := range eb.victims {
-		pages[i] = v.page
-	}
+// cost; completions are returned for the pipeline to wait on. Victims are
+// grouped by owning tenant in id order: each tenant's pages go only to
+// that tenant's app cores, since per-core TLBs cache tenant-local page
+// numbers. A single-tenant batch degenerates to the pre-split behaviour
+// (one target set, TLBBatch-page chunks).
+func (n *Node) postShootdowns(p *sim.Proc, core topo.CoreID, eb *ebatch) []*tlbsim.Completion {
 	var out []*tlbsim.Completion
-	for len(pages) > 0 {
-		n := s.Cfg.TLBBatch
-		if n > len(pages) {
-			n = len(pages)
+	for _, t := range n.tenants {
+		var pages []uint64
+		for _, v := range eb.victims {
+			if v.t == t {
+				pages = append(pages, v.page)
+			}
 		}
-		out = append(out, s.Shooter.PostShootdown(p, core, targets, pages[:n]))
-		pages = pages[n:]
+		if len(pages) == 0 {
+			continue
+		}
+		targets := t.shootdownTargets(core)
+		for len(pages) > 0 {
+			c := n.Cfg.TLBBatch
+			if c > len(pages) {
+				c = len(pages)
+			}
+			out = append(out, n.Shooter.PostShootdown(p, core, targets, pages[:c]))
+			pages = pages[c:]
+		}
 	}
 	return out
 }
@@ -265,10 +282,10 @@ func (s *System) postShootdowns(p *sim.Proc, core topo.CoreID, eb *ebatch) []*tl
 // need their content pushed remotely. With direct mapping, clean pages
 // already have valid remote content and are skipped; with the Linux swap
 // map, the newly allocated slot is empty so every page is written.
-func (s *System) postWriteback(p *sim.Proc, eb *ebatch) *nic.Completion {
+func (n *Node) postWriteback(p *sim.Proc, eb *ebatch) *nic.Completion {
 	var pagesToWrite int
 	for _, v := range eb.victims {
-		if v.dirty || s.Cfg.Swap == SwapGlobalMap {
+		if v.dirty || n.Cfg.Swap == SwapGlobalMap {
 			pagesToWrite++
 		}
 	}
@@ -277,33 +294,45 @@ func (s *System) postWriteback(p *sim.Proc, eb *ebatch) *nic.Completion {
 	}
 	eb.wbBytes = int64(pagesToWrite) * nic.PageSize
 	// TryPostWrite degenerates to PostWrite when no injector is attached.
-	return s.NIC.TryPostWrite(p, eb.wbBytes, s.Cfg.Retry.AttemptTimeout)
+	return n.NIC.TryPostWrite(p, eb.wbBytes, n.Cfg.Retry.AttemptTimeout)
 }
 
 // reclaim is the final stage: retire the PTEs, record the remote slots,
-// return the frames to circulation, and wake fault-path waiters.
-func (s *System) reclaim(p *sim.Proc, core topo.CoreID, eb *ebatch) {
+// return the frames to circulation, and wake fault-path waiters. Eviction
+// counters and trace instants are credited to each victim's owner.
+func (n *Node) reclaim(p *sim.Proc, core topo.CoreID, eb *ebatch) {
 	frames := make([]buddy.Frame, len(eb.victims))
-	ghost, _ := s.Acct.(lru.GhostTracker)
+	ghost, _ := n.Acct.(lru.GhostTracker)
 	for i, v := range eb.victims {
-		s.AS.CompleteEvict(p, v.page)
-		if s.remoteOf != nil {
-			s.remoteOf[v.page] = v.entry
+		v.t.AS.CompleteEvict(p, v.page)
+		if v.t.remoteOf != nil {
+			v.t.remoteOf[v.page] = v.entry
 		}
 		if ghost != nil {
-			ghost.OnEvicted(v.page)
+			ghost.OnEvicted(v.t.key(v.page))
 		}
 		frames[i] = v.frame
 	}
-	s.Alloc.FreeBatch(p, core, frames)
-	s.inflight -= len(eb.victims)
+	n.Alloc.FreeBatch(p, core, frames)
+	n.inflight -= len(eb.victims)
 	if invariant.Enabled {
-		s.checkAccounting()
+		n.checkAccounting()
 	}
-	s.EvictedPages.Add(uint64(len(eb.victims)))
-	if s.Trace != nil {
-		s.Trace.Instant(fmt.Sprintf("reclaim-%d", len(eb.victims)), "ep",
-			trace.LaneEviction, int(core), int64(p.Now()))
+	for _, t := range n.tenants {
+		cnt := 0
+		for _, v := range eb.victims {
+			if v.t == t {
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		t.EvictedPages.Add(uint64(cnt))
+		if n.Trace != nil {
+			n.Trace.Instant(fmt.Sprintf("reclaim-%d", cnt), "ep",
+				t.ID, int(core), int64(p.Now()))
+		}
 	}
-	s.freeWait.Broadcast()
+	n.freeWait.Broadcast()
 }

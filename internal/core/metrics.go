@@ -70,66 +70,82 @@ type Metrics struct {
 	InjSpikes     uint64
 }
 
-// Snapshot collects metrics; elapsed is used for rate computations.
-func (s *System) Snapshot(elapsed sim.Time) Metrics {
+// Snapshot collects one tenant's metrics; elapsed is used for rate
+// computations. Per-tenant quantities (faults, latency, retry state,
+// its address space's lock waits) come from the tenant; node-shared
+// quantities (shootdowns, NIC, allocator/accounting/swap contention,
+// eviction-side retries) are reported as observed by every tenant, since
+// the contention they measure is the shared substrate's.
+func (t *Tenant) Snapshot(elapsed sim.Time) Metrics {
+	n := t.node
 	if invariant.Enabled {
-		s.checkAccounting()
+		n.checkAccounting()
 	}
 	m := Metrics{
-		System:       s.Cfg.Name,
-		MajorFaults:  s.MajorFaults.Value(),
-		MinorFaults:  s.MinorFaults.Value(),
-		SyncEvicts:   s.SyncEvicts.Value(),
-		EvictedPages: s.EvictedPages.Value(),
-		Prefetched:   s.Prefetched.Value(),
-		PrefetchDrop: s.PrefetchDrop.Value(),
+		System:       t.Spec.Name,
+		MajorFaults:  t.MajorFaults.Value(),
+		MinorFaults:  t.MinorFaults.Value(),
+		SyncEvicts:   t.SyncEvicts.Value(),
+		EvictedPages: t.EvictedPages.Value(),
+		Prefetched:   t.Prefetched.Value(),
+		PrefetchDrop: t.PrefetchDrop.Value(),
 
-		FaultMeanNs: s.FaultLatency.Mean(),
-		FaultP50Ns:  s.FaultLatency.P50(),
-		FaultP99Ns:  s.FaultLatency.P99(),
-		FaultMaxNs:  s.FaultLatency.Max(),
+		FaultMeanNs: t.FaultLatency.Mean(),
+		FaultP50Ns:  t.FaultLatency.P50(),
+		FaultP99Ns:  t.FaultLatency.P99(),
+		FaultMaxNs:  t.FaultLatency.Max(),
 
 		BreakdownNs: make(map[string]float64),
 
-		Shootdowns:         s.Shooter.Shootdowns.Value(),
-		IPIsSent:           s.Fabric.IPIsSent.Value(),
-		ShootdownMeanNs:    s.Shooter.Latency.Mean(),
-		ShootdownP99Ns:     s.Shooter.Latency.P99(),
-		IPIDeliveryMeanNs:  s.Fabric.DeliveryLatency.Mean(),
-		IPIDeliveryP99Ns:   s.Fabric.DeliveryLatency.P99(),
-		TLBPagesInvalidate: s.Shooter.PagesInvalidated.Value(),
+		Shootdowns:         n.Shooter.Shootdowns.Value(),
+		IPIsSent:           n.Fabric.IPIsSent.Value(),
+		ShootdownMeanNs:    n.Shooter.Latency.Mean(),
+		ShootdownP99Ns:     n.Shooter.Latency.P99(),
+		IPIDeliveryMeanNs:  n.Fabric.DeliveryLatency.Mean(),
+		IPIDeliveryP99Ns:   n.Fabric.DeliveryLatency.P99(),
+		TLBPagesInvalidate: n.Shooter.PagesInvalidated.Value(),
 
-		RxGbps:     s.NIC.RxGbps(elapsed),
-		TxGbps:     s.NIC.TxGbps(elapsed),
-		RdmaReads:  s.NIC.Reads.Value(),
-		RdmaWrites: s.NIC.Writes.Value(),
+		RxGbps:     n.NIC.RxGbps(elapsed),
+		TxGbps:     n.NIC.TxGbps(elapsed),
+		RdmaReads:  n.NIC.Reads.Value(),
+		RdmaWrites: n.NIC.Writes.Value(),
 
-		AcctLockWaitNs:  s.Acct.LockWaitNs(),
-		AllocLockWaitNs: s.Alloc.LockWaitNs(),
-		SwapLockWaitNs:  s.Swap.LockWaitNs(),
-		PTLockWaitNs:    s.AS.LockWaitNs(),
-		FreeWaitNs:      s.FreeWaitNs,
+		AcctLockWaitNs:  n.Acct.LockWaitNs(),
+		AllocLockWaitNs: n.Alloc.LockWaitNs(),
+		SwapLockWaitNs:  n.Swap.LockWaitNs(),
+		PTLockWaitNs:    t.AS.LockWaitNs(),
+		FreeWaitNs:      t.FreeWaitNs,
 
-		DedupWaits: s.AS.DedupWaits.Value(),
+		DedupWaits: t.AS.DedupWaits.Value(),
 
-		FaultRetries:  s.FaultRetries.Value(),
-		FaultTimeouts: s.FaultTimeouts.Value(),
-		FaultGiveUps:  s.FaultGiveUps.Value(),
-		EvictRetries:  s.EvictRetries.Value(),
-		EvictTimeouts: s.EvictTimeouts.Value(),
-		RetryWaits:    s.RetryWait.Count(),
-		RetryWaitNs:   s.RetryWait.Sum(),
-		DegradedNs:    s.Degraded.TotalAt(int64(elapsed)),
-		DegradedSpans: s.Degraded.Count(),
+		FaultRetries:  t.FaultRetries.Value(),
+		FaultTimeouts: t.FaultTimeouts.Value(),
+		FaultGiveUps:  t.FaultGiveUps.Value(),
+		EvictRetries:  n.EvictRetries.Value(),
+		EvictTimeouts: n.EvictTimeouts.Value(),
+		RetryWaits:    t.RetryWait.Count(),
+		RetryWaitNs:   t.RetryWait.Sum(),
+		DegradedNs:    t.Degraded.TotalAt(int64(elapsed)),
+		DegradedSpans: t.Degraded.Count(),
 	}
-	if in := s.FaultInj; in != nil {
-		m.InjReadNacks = in.ReadNacks.Value()
-		m.InjWriteNacks = in.WriteNacks.Value()
-		m.InjTimeouts = in.ReadTimeouts.Value() + in.WriteTimeouts.Value()
-		m.InjSpikes = in.Spikes.Value()
+	// Injected-fault tallies: the tenant's own injector plus the node-wide
+	// one when both exist (they are distinct fault sources; a tenant
+	// without its own plan sees exactly the node injector, preserving the
+	// pre-split report).
+	if in := t.Inj; in != nil {
+		m.InjReadNacks += in.ReadNacks.Value()
+		m.InjWriteNacks += in.WriteNacks.Value()
+		m.InjTimeouts += in.ReadTimeouts.Value() + in.WriteTimeouts.Value()
+		m.InjSpikes += in.Spikes.Value()
 	}
-	for _, c := range s.FaultBreak.Components() {
-		m.BreakdownNs[c] = s.FaultBreak.PerOp(c)
+	if in := n.FaultInj; in != nil {
+		m.InjReadNacks += in.ReadNacks.Value()
+		m.InjWriteNacks += in.WriteNacks.Value()
+		m.InjTimeouts += in.ReadTimeouts.Value() + in.WriteTimeouts.Value()
+		m.InjSpikes += in.Spikes.Value()
+	}
+	for _, c := range t.FaultBreak.Components() {
+		m.BreakdownNs[c] = t.FaultBreak.PerOp(c)
 	}
 	return m
 }

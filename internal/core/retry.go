@@ -1,15 +1,17 @@
 package core
 
 import (
+	"mage/internal/faultinject"
 	"mage/internal/nic"
 	"mage/internal/sim"
 )
 
 // RetryPolicy parameterizes the fault-in/eviction retry layer: per-op
 // timeouts with capped exponential backoff and deterministic jitter.
-// It only takes effect when Config.FaultPlan enables injection; without
-// a plan every remote op succeeds on the first attempt and the policy
-// is never consulted.
+// It only takes effect when a fault plan (node-wide Config.FaultPlan or a
+// per-tenant TenantSpec.FaultPlan) enables injection; without a plan
+// every remote op succeeds on the first attempt and the policy is never
+// consulted.
 type RetryPolicy struct {
 	// MaxAttempts is how many times one remote op is tried before the
 	// path declares the remote unreachable and drops into degraded mode.
@@ -61,65 +63,88 @@ func (r *RetryPolicy) backoff(attempt int) sim.Time {
 }
 
 // remoteRead fetches bytes from the far node through whatever weather
-// the fault injector schedules: NACKs and timeouts are retried with
-// capped exponential backoff + jitter; after MaxAttempts consecutive
+// the tenant's fault injector schedules: NACKs and timeouts are retried
+// with capped exponential backoff + jitter; after MaxAttempts consecutive
 // failures the path records a give-up and sits out the outage in
 // degraded mode before starting a fresh round. The fault path can never
 // abandon the page, so this only returns on success. With no injector
-// it is exactly NIC.Read.
-func (s *System) remoteRead(p *sim.Proc, bytes int64) {
-	if s.FaultInj == nil {
-		s.NIC.Read(p, bytes)
+// it is exactly NIC.Read. Degraded parking is per-tenant: this tenant's
+// outage never parks a co-tenant's fault path.
+func (t *Tenant) remoteRead(p *sim.Proc, bytes int64) {
+	inj := t.injector()
+	if inj == nil {
+		t.node.NIC.Read(p, bytes)
 		return
 	}
-	pol := &s.Cfg.Retry
+	pol := &t.node.Cfg.Retry
 	attempt := 0
 	for {
-		_, res := s.NIC.TryRead(p, bytes, pol.AttemptTimeout)
+		_, res := t.node.NIC.TryReadWith(p, bytes, pol.AttemptTimeout, inj)
 		if res == nic.ReadOK {
 			return
 		}
 		if res == nic.ReadTimeout {
-			s.FaultTimeouts.Inc()
+			t.FaultTimeouts.Inc()
 		}
 		attempt++
 		if attempt >= pol.MaxAttempts {
-			s.FaultGiveUps.Inc()
-			s.degradedWait(p)
+			t.FaultGiveUps.Inc()
+			t.degradedWait(p, inj)
 			attempt = 0
 			continue
 		}
-		s.FaultRetries.Inc()
-		d := s.FaultInj.Jitter(pol.backoff(attempt), pol.JitterFrac)
+		t.FaultRetries.Inc()
+		d := inj.Jitter(pol.backoff(attempt), pol.JitterFrac)
 		t0 := p.Now()
 		p.Sleep(d)
-		s.RetryWait.Record(int64(p.Now() - t0))
+		t.RetryWait.Record(int64(p.Now() - t0))
 	}
 }
 
-// degradedWait parks p until the remote node's next scheduled recovery
+// degradedWait parks p until the given injector's next scheduled recovery
 // (or one MaxBackoff when the injector reports the node up but ops keep
-// failing), accounting the time as degraded. This is the degraded mode:
-// fault-path threads and evictors stop hammering a dead link and the
-// time they lose is observable in Metrics.
-func (s *System) degradedWait(p *sim.Proc) {
+// failing), accounting the time against this tenant's Degraded spans.
+// This is the degraded mode: fault-path threads stop hammering a dead
+// link and the time they lose is observable in the tenant's Metrics.
+func (t *Tenant) degradedWait(p *sim.Proc, inj *faultinject.Injector) {
 	now := p.Now()
-	until := s.FaultInj.NextRecovery(now)
+	until := inj.NextRecovery(now)
 	if until <= now {
-		until = now + s.Cfg.Retry.MaxBackoff
+		until = now + t.node.Cfg.Retry.MaxBackoff
 	}
-	s.Degraded.Enter(int64(now))
+	t.Degraded.Enter(int64(now))
 	p.Sleep(until - now)
-	s.Degraded.Exit(int64(p.Now()))
+	t.Degraded.Exit(int64(p.Now()))
 }
 
-// awaitWriteback waits for the batch's RDMA write and, when the fault
-// injector drops it, re-posts the write until it sticks — an eviction
-// may not reclaim frames whose content never reached the far node.
-// Consecutive failures back off exponentially; during outages the
+// evictorDegradedWait parks an evictor until the node injector's next
+// scheduled recovery. Evictors serve every tenant, so the lost time is
+// entered into all tenants' Degraded spans (in id order); a single-tenant
+// node degenerates to exactly the old shared-span accounting, where
+// overlapping fault-path and evictor episodes merge into one span.
+func (n *Node) evictorDegradedWait(p *sim.Proc) {
+	now := p.Now()
+	until := n.FaultInj.NextRecovery(now)
+	if until <= now {
+		until = now + n.Cfg.Retry.MaxBackoff
+	}
+	for _, t := range n.tenants {
+		t.Degraded.Enter(int64(now))
+	}
+	p.Sleep(until - now)
+	end := int64(p.Now())
+	for _, t := range n.tenants {
+		t.Degraded.Exit(end)
+	}
+}
+
+// awaitWriteback waits for the batch's RDMA write and, when the node
+// fault injector drops it, re-posts the write until it sticks — an
+// eviction may not reclaim frames whose content never reached the far
+// node. Consecutive failures back off exponentially; during outages the
 // evictor throttles in degraded mode instead of spinning. With no
 // injector the completion cannot fail and this is exactly one Wait.
-func (s *System) awaitWriteback(p *sim.Proc, eb *ebatch) {
+func (n *Node) awaitWriteback(p *sim.Proc, eb *ebatch) {
 	c := eb.rdma
 	attempt := 0
 	for c != nil {
@@ -128,16 +153,16 @@ func (s *System) awaitWriteback(p *sim.Proc, eb *ebatch) {
 			return
 		}
 		if c.TimedOut() {
-			s.EvictTimeouts.Inc()
+			n.EvictTimeouts.Inc()
 		}
-		s.EvictRetries.Inc()
+		n.EvictRetries.Inc()
 		attempt++
-		if s.FaultInj.Down(p.Now()) {
-			s.degradedWait(p)
+		if n.FaultInj.Down(p.Now()) {
+			n.evictorDegradedWait(p)
 			attempt = 0
 		} else {
-			p.Sleep(s.FaultInj.Jitter(s.Cfg.Retry.backoff(attempt), s.Cfg.Retry.JitterFrac))
+			p.Sleep(n.FaultInj.Jitter(n.Cfg.Retry.backoff(attempt), n.Cfg.Retry.JitterFrac))
 		}
-		c = s.NIC.TryPostWrite(p, eb.wbBytes, s.Cfg.Retry.AttemptTimeout)
+		c = n.NIC.TryPostWrite(p, eb.wbBytes, n.Cfg.Retry.AttemptTimeout)
 	}
 }

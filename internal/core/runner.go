@@ -119,80 +119,128 @@ func (s *System) Run(streams []AccessStream) RunResult {
 	return s.RunWithOptions(streams, RunOptions{})
 }
 
-// RunWithOptions is Run with sampling/deadline control.
+// RunWithOptions is Run with sampling/deadline control. It is the
+// single-tenant slice of Node.RunTenants.
 func (s *System) RunWithOptions(streams []AccessStream, opts RunOptions) RunResult {
-	if len(streams) == 0 {
-		panic("core: no access streams")
-	}
-	s.SpawnEvictors()
+	return s.Node.RunTenants([][]AccessStream{streams}, opts)[0]
+}
 
-	res := RunResult{
-		System:  s.Cfg.Name,
-		Threads: make([]ThreadResult, len(streams)),
+// RunTenants executes each tenant's streams (one AccessStream per app
+// thread) to completion and returns one RunResult per tenant, in tenant
+// id order. It owns the engine run loop.
+//
+// Determinism: spawn order is fixed — evictors, then every tenant's app
+// threads in tenant id order, then the samplers — so cross-tenant event
+// ordering is a pure function of the configuration and streams. A
+// single-tenant call reproduces the pre-split spawn sequence (and thread
+// names) exactly.
+func (n *Node) RunTenants(tenantStreams [][]AccessStream, opts RunOptions) []RunResult {
+	if len(tenantStreams) != len(n.tenants) {
+		panic(fmt.Sprintf("core: %d stream sets for %d tenants", len(tenantStreams), len(n.tenants)))
 	}
-	remaining := len(streams)
-	for i, st := range streams {
-		i, st := i, st
-		s.Eng.Spawn(fmt.Sprintf("app-%d", i), func(p *sim.Proc) {
-			t := s.NewThread(p, i)
-			for {
-				a, ok := st.Next()
-				if !ok {
-					break
-				}
-				if a.Wait != nil {
-					t.Flush()
-					a.Wait(p)
-				}
-				if !a.Skip {
-					t.Access(a.Page, a.Write, a.Compute)
-				}
+	for _, streams := range tenantStreams {
+		if len(streams) == 0 {
+			panic("core: no access streams")
+		}
+	}
+	n.SpawnEvictors()
+
+	multi := len(n.tenants) > 1
+	results := make([]RunResult, len(n.tenants))
+	remaining := 0
+	for _, streams := range tenantStreams {
+		remaining += len(streams)
+	}
+	if n.Trace != nil {
+		for _, t := range n.tenants {
+			n.Trace.ProcessName(t.ID, fmt.Sprintf("tenant %d: %s", t.ID, t.Spec.Name))
+		}
+	}
+	for ti, tn := range n.tenants {
+		ti, tn := ti, tn
+		streams := tenantStreams[ti]
+		results[ti] = RunResult{
+			System:  tn.Spec.Name,
+			Threads: make([]ThreadResult, len(streams)),
+		}
+		for i, st := range streams {
+			i, st := i, st
+			name := fmt.Sprintf("app-%d", i)
+			if multi {
+				name = fmt.Sprintf("t%d.app-%d", ti, i)
 			}
-			t.Flush()
-			res.Threads[i] = ThreadResult{
-				TID:        i,
-				Accesses:   t.Accesses,
-				Faults:     t.Faults,
-				FinishedAt: p.Now(),
-			}
-			remaining--
-			if remaining == 0 {
-				s.Stop()
-			}
-		})
+			n.Eng.Spawn(name, func(p *sim.Proc) {
+				t := tn.NewThread(p, i)
+				for {
+					a, ok := st.Next()
+					if !ok {
+						break
+					}
+					if a.Wait != nil {
+						t.Flush()
+						a.Wait(p)
+					}
+					if !a.Skip {
+						t.Access(a.Page, a.Write, a.Compute)
+					}
+				}
+				t.Flush()
+				results[ti].Threads[i] = ThreadResult{
+					TID:        i,
+					Accesses:   t.Accesses,
+					Faults:     t.Faults,
+					FinishedAt: p.Now(),
+				}
+				remaining--
+				if remaining == 0 {
+					n.Stop()
+				}
+			})
+		}
 	}
 
 	if opts.SampleEvery > 0 {
-		res.Series = &stats.TimeSeries{}
-		s.Eng.Spawn("sampler", func(p *sim.Proc) {
-			var m stats.Meter
-			for !s.stopped {
-				p.Sleep(opts.SampleEvery)
-				rate := m.Rate(int64(p.Now()), s.AccessOps)
-				res.Series.Add(int64(p.Now()), rate)
+		for ti, tn := range n.tenants {
+			tn := tn
+			results[ti].Series = &stats.TimeSeries{}
+			series := results[ti].Series
+			name := "sampler"
+			if multi {
+				name = fmt.Sprintf("t%d.sampler", ti)
 			}
-		})
+			n.Eng.Spawn(name, func(p *sim.Proc) {
+				var m stats.Meter
+				for !n.stopped {
+					p.Sleep(opts.SampleEvery)
+					rate := m.Rate(int64(p.Now()), tn.AccessOps)
+					series.Add(int64(p.Now()), rate)
+				}
+			})
+		}
 	}
 
 	if opts.Deadline > 0 {
-		s.Eng.RunUntil(opts.Deadline)
-		if !s.stopped {
-			s.Stop()
-			s.Eng.Stop()
+		n.Eng.RunUntil(opts.Deadline)
+		if !n.stopped {
+			n.Stop()
+			n.Eng.Stop()
 		}
-		// Deadline-abandoned threads (and the sampler) are parked in the
+		// Deadline-abandoned threads (and the samplers) are parked in the
 		// engine; release their goroutines so grid sweeps do not
 		// accumulate thousands of leaked parked procs.
-		s.Eng.Shutdown()
+		n.Eng.Shutdown()
 	} else {
-		s.Eng.Run()
+		n.Eng.Run()
 	}
 
-	for _, t := range res.Threads {
-		if t.FinishedAt > res.Makespan {
-			res.Makespan = t.FinishedAt
+	for ti := range results {
+		res := &results[ti]
+		for _, t := range res.Threads {
+			if t.FinishedAt > res.Makespan {
+				res.Makespan = t.FinishedAt
+			}
 		}
+		res.Metrics = n.tenants[ti].Snapshot(res.Makespan)
 	}
-	res.Metrics = s.Snapshot(res.Makespan)
-	return res
+	return results
 }

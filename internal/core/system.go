@@ -1,88 +1,15 @@
 package core
 
-import (
-	"fmt"
-
-	"mage/internal/apic"
-	"mage/internal/buddy"
-	"mage/internal/faultinject"
-	"mage/internal/invariant"
-	"mage/internal/lru"
-	"mage/internal/nic"
-	"mage/internal/palloc"
-	"mage/internal/pgtable"
-	"mage/internal/prefetch"
-	"mage/internal/sim"
-	"mage/internal/stats"
-	"mage/internal/swapspace"
-	"mage/internal/tlbsim"
-	"mage/internal/topo"
-	"mage/internal/trace"
-)
-
-// System is one assembled far-memory system: machine, NIC, page table,
-// allocators, accounting, and the fault-in/eviction paths configured per
-// Config.
+// System is one assembled single-tenant far-memory system: a Node whose
+// shared substrate (machine, NIC, allocators, accounting, evictors) is
+// dedicated to exactly one Tenant (address space, metrics, fault path).
+// The embedded pair promotes both layers' fields and methods, so code
+// written against the pre-split fused System — every experiment, test,
+// and the mage.go facade — keeps working unchanged and produces
+// byte-identical output. Multi-tenant co-location uses NewNode directly.
 type System struct {
-	Cfg   Config
-	Costs CostModel
-
-	Eng       *sim.Engine
-	Machine   *topo.Machine
-	Fabric    *apic.Fabric
-	Shooter   *tlbsim.Shooter
-	NIC       *nic.NIC
-	AS        *pgtable.AddressSpace
-	Alloc     palloc.Source
-	Swap      swapspace.Allocator
-	Acct      lru.Accounting
-	Placement topo.Placement
-
-	// remoteOf maps a page to its swap entry while remote; only used with
-	// SwapGlobalMap (direct mapping needs no table).
-	remoteOf []swapspace.Entry
-
-	freeWait  *sim.WaitQueue
-	evictKick *sim.WaitQueue
-	stopped   bool
-	// inflight counts frames unmapped by eviction but not yet reclaimed
-	// (sitting in the TSB/RSB pipeline stages); they are committed to
-	// becoming free, so pressure checks must count them or the pipeline
-	// over-evicts and the application refaults the overshoot.
-	inflight int
-
-	appCores []topo.CoreID
-
-	// idealResidency is the zero-cost CLOCK used in Ideal mode.
-	idealFIFO []uint64
-
-	// Trace, when non-nil, records fault and eviction spans for export
-	// as a Chrome trace (see internal/trace).
-	Trace *trace.Recorder
-
-	// Fault injection / robustness (nil and zero unless Cfg.FaultPlan
-	// enables injection). FaultInj is shared with the NIC; the counters
-	// observe the retry layer in internal/core/retry.go.
-	FaultInj      *faultinject.Injector
-	FaultRetries  stats.Counter // fault-path attempts retried after NACK/timeout
-	FaultTimeouts stats.Counter // fault-path attempts that burned a full AttemptTimeout
-	FaultGiveUps  stats.Counter // rounds abandoned after MaxAttempts (→ degraded mode)
-	EvictRetries  stats.Counter // writeback posts repeated after a dropped write
-	EvictTimeouts stats.Counter // writeback drops that were timeouts
-	RetryWait     *stats.Histogram
-	Degraded      stats.Spans
-
-	// Metrics (all in virtual time / simulated events).
-	FaultLatency *stats.Histogram
-	FaultBreak   *stats.Breakdown
-	MajorFaults  stats.Counter
-	MinorFaults  stats.Counter
-	SyncEvicts   stats.Counter
-	EvictedPages stats.Counter
-	Prefetched   stats.Counter
-	PrefetchDrop stats.Counter
-	FreeWaitNs   int64
-	AccessOps    uint64 // total completed accesses (host counter)
+	*Node
+	*Tenant
 }
 
 // Breakdown component labels (Figs 6 and 16).
@@ -94,86 +21,13 @@ const (
 	CompOthers = "others"
 )
 
-// NewSystem builds a system from cfg on a fresh engine.
+// NewSystem builds a single-tenant system from cfg on a fresh engine.
 func NewSystem(cfg Config) (*System, error) {
-	if err := cfg.Validate(); err != nil {
+	n, err := NewNode(cfg, nil)
+	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	costs := DefaultCostModel(cfg)
-	machine := topo.NewMachine(cfg.Sockets, cfg.CoresPerSocket)
-
-	s := &System{
-		Cfg:          cfg,
-		Costs:        costs,
-		Eng:          eng,
-		Machine:      machine,
-		Fabric:       apic.NewFabric(eng, machine, costs.APIC),
-		NIC:          nic.New(eng, cfg.Stack, costs.NIC),
-		freeWait:     sim.NewWaitQueue(eng, "free-wait"),
-		evictKick:    sim.NewWaitQueue(eng, "evict-kick"),
-		FaultLatency: stats.NewHistogram(),
-		FaultBreak:   stats.NewBreakdown(),
-		RetryWait:    stats.NewHistogram(),
-	}
-	if cfg.FaultPlan.Enabled() {
-		inj, err := faultinject.New(*cfg.FaultPlan)
-		if err != nil {
-			return nil, err
-		}
-		s.FaultInj = inj
-		s.NIC.SetFaultInjector(inj)
-	}
-	s.Shooter = tlbsim.NewShooter(s.Fabric, machine, costs.TLB, cfg.TLBEntries)
-	s.AS = pgtable.New(eng, cfg.TotalPages, cfg.PTLock, cfg.PTShards, costs.PT)
-	s.AS.Map(0, cfg.TotalPages, "wss")
-
-	switch cfg.Allocator {
-	case AllocGlobalLock:
-		s.Alloc = palloc.NewGlobalLock(eng, cfg.LocalMemPages, costs.Alloc)
-	case AllocPerCPUCache:
-		s.Alloc = palloc.NewPerCPUCache(eng, machine, cfg.LocalMemPages, cfg.AllocBatch, costs.Alloc)
-	case AllocMultiLayer:
-		s.Alloc = palloc.NewMultiLayer(eng, machine, cfg.LocalMemPages, cfg.AllocBatch, costs.Alloc)
-	default:
-		return nil, fmt.Errorf("core: unknown allocator kind %v", cfg.Allocator)
-	}
-
-	switch cfg.Swap {
-	case SwapGlobalMap:
-		gm := swapspace.NewGlobalSwapMap(eng, int(cfg.TotalPages)+cfg.LocalMemPages, costs.Swap)
-		// Every page starts swapped out at its identity slot, as if the
-		// working set was pre-evicted with madvise_pageout (§3.2).
-		gm.ReserveFirst(int(cfg.TotalPages))
-		s.Swap = gm
-		s.remoteOf = make([]swapspace.Entry, cfg.TotalPages)
-		for i := range s.remoteOf {
-			s.remoteOf[i] = swapspace.Entry(i)
-		}
-	case SwapDirectMap:
-		s.Swap = swapspace.NewDirectMap(int(cfg.TotalPages))
-	default:
-		return nil, fmt.Errorf("core: unknown swap kind %v", cfg.Swap)
-	}
-
-	switch cfg.Accounting {
-	case AcctGlobalLRU:
-		s.Acct = lru.NewGlobal(eng, costs.LRU)
-	case AcctPartitioned:
-		s.Acct = lru.NewPartitioned(eng, cfg.EvictorThreads, costs.LRU)
-	case AcctPerCPUFIFO:
-		s.Acct = lru.NewPerCPUFIFO(eng, machine, cfg.EvictorThreads, costs.LRU)
-	case AcctS3FIFO:
-		s.Acct = lru.NewS3FIFO(eng, cfg.LocalMemPages/10+1, costs.LRU)
-	case AcctTwoList:
-		s.Acct = lru.NewTwoList(eng, costs.LRU)
-	default:
-		return nil, fmt.Errorf("core: unknown accounting kind %v", cfg.Accounting)
-	}
-
-	s.Placement = machine.Place(cfg.AppThreads, cfg.EvictorThreads)
-	s.appCores = s.Placement.AppCoresOf()
-	return s, nil
+	return &System{Node: n, Tenant: n.tenants[0]}, nil
 }
 
 // MustNewSystem is NewSystem that panics on configuration errors.
@@ -185,486 +39,9 @@ func MustNewSystem(cfg Config) *System {
 	return s
 }
 
-// shootdownTargets returns the cores whose TLBs may cache this address
-// space, excluding the initiator.
-func (s *System) shootdownTargets(from topo.CoreID) []topo.CoreID {
-	out := make([]topo.CoreID, 0, len(s.appCores))
-	for _, c := range s.appCores {
-		if c != from {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
-// freeFrames returns the free frames reachable by any core: watermark and
-// eviction-pressure decisions must not count frames stranded in other
-// cores' private caches.
-func (s *System) freeFrames() int { return s.Alloc.SharedFree() }
-
-// underPressure reports whether eviction should run.
-func (s *System) underPressure() bool {
-	return s.evictionDeficit() > 0
-}
-
-// evictionDeficit returns how many more frames eviction must free to
-// reach the high watermark, accounting for frames already committed in
-// the pipeline. Blocked faulting threads always add to the deficit:
-// "free" frames may be stranded in other cores' caches, unreachable to
-// the waiters, so their demand must be served by fresh evictions.
-func (s *System) evictionDeficit() int {
-	d := s.Cfg.highWatermarkFrames() - s.freeFrames() - s.inflight
-	if d < 0 {
-		d = 0
-	}
-	return d + s.freeWait.Len()
-}
-
-// kickEvictors wakes eviction threads.
-func (s *System) kickEvictors() { s.evictKick.Broadcast() }
-
-// checkAccounting asserts the cross-module frame-conservation invariants
-// when built with -tags magecheck. Frames mid-transition (allocated but
-// not yet installed, or unmapped but not yet freed) are neither free nor
-// resident, so the conservation laws are inequalities except at quiescence.
-func (s *System) checkAccounting() {
-	invariant.Assert(s.inflight >= 0, "core: inflight count %d negative", s.inflight)
-	resident := s.AS.Resident()
-	invariant.Assert(resident <= s.Cfg.LocalMemPages,
-		"core: %d resident pages exceed %d local frames", resident, s.Cfg.LocalMemPages)
-	invariant.Assert(s.Alloc.FreeFrames()+resident <= s.Cfg.LocalMemPages,
-		"core: free %d + resident %d exceed %d local frames",
-		s.Alloc.FreeFrames(), resident, s.Cfg.LocalMemPages)
-	if s.Acct != nil {
-		invariant.Assert(s.Acct.Len() <= resident,
-			"core: accounting tracks %d pages but only %d are resident", s.Acct.Len(), resident)
-	}
-}
-
-// Stop shuts down background eviction threads once the workload is done.
-func (s *System) Stop() {
-	s.stopped = true
-	s.evictKick.Broadcast()
-}
-
-// Stopped reports whether Stop has been called.
-func (s *System) Stopped() bool { return s.stopped }
-
-// PrepopulateFront makes pages [0, n) resident contiguously (up to the
-// free-page high watermark), leaving any shortfall at the END of the
-// range. Use it when the workload's initial working set occupies the
-// front of the address space and must start fully resident — the GUPS and
-// Metis phase-change experiments, whose first phase is meant to run
-// fault-free (§6.2).
-func (s *System) PrepopulateFront(n int) int {
-	return s.prepopulate(n, false)
-}
-
-// Prepopulate makes pages [0, n) resident at zero simulated cost — the
-// warm start the paper's experiments assume ("the local VM is configured
-// to retain (100-x)% of the WSS"). Population stops at the free-page high
-// watermark; the unpopulated gap is spread evenly over the range so no
-// single thread's shard concentrates the cold-start faults. It returns
-// the number of pages made resident and must be called before Run.
-func (s *System) Prepopulate(n int) int {
-	return s.prepopulate(n, true)
-}
-
-func (s *System) prepopulate(n int, spread bool) int {
-	limit := s.Cfg.LocalMemPages - s.Cfg.highWatermarkFrames()
-	if s.Cfg.Ideal {
-		limit = s.Cfg.LocalMemPages
-	}
-	if n > int(s.Cfg.TotalPages) {
-		n = int(s.Cfg.TotalPages)
-	}
-	count := n
-	if count > limit {
-		count = limit
-	}
-	// Spread mode distributes the unpopulated gap evenly over the range
-	// (Bresenham-style skip): concentrating it at the end would hand all
-	// cold-start faults to the thread whose shard covers the tail and
-	// skew every makespan measurement.
-	skip := 0
-	if spread {
-		skip = n - count
-	}
-	acc := 0
-	populated := 0
-	for pg := 0; pg < n && populated < limit; pg++ {
-		acc += skip
-		if acc >= n {
-			acc -= n
-			continue
-		}
-		f, ok := s.Alloc.AllocRaw()
-		if !ok {
-			break
-		}
-		s.AS.InstallRaw(uint64(pg), f)
-		if s.Cfg.Ideal {
-			s.idealFIFO = append(s.idealFIFO, uint64(pg))
-		} else {
-			core := s.appCores[pg%len(s.appCores)]
-			s.Acct.InsertRaw(core, uint64(pg))
-		}
-		if s.remoteOf != nil {
-			if e := s.remoteOf[pg]; e != swapspace.NilEntry {
-				s.Swap.(*swapspace.GlobalSwapMap).FreeRaw(e)
-				s.remoteOf[pg] = swapspace.NilEntry
-			}
-		}
-		populated++
-	}
-	return populated
-}
-
-// MarkZeroFill declares pages [start, end) to be anonymous memory with no
-// initial remote content: their first faults allocate zeroed frames
-// without an RDMA read (Metis's intermediate buffers, freshly mmapped
-// heaps). Must be called before Prepopulate/Run. For swap-map systems the
-// pages' pre-reserved slots are released.
-func (s *System) MarkZeroFill(start, end uint64) {
-	s.AS.MarkZeroFill(start, end)
-	if s.remoteOf != nil {
-		gm := s.Swap.(*swapspace.GlobalSwapMap)
-		for pg := start; pg < end && pg < s.Cfg.TotalPages; pg++ {
-			if e := s.remoteOf[pg]; e != swapspace.NilEntry {
-				gm.FreeRaw(e)
-				s.remoteOf[pg] = swapspace.NilEntry
-			}
-		}
-	}
-}
-
-// Fault handles a major page fault for page on behalf of thread tid
-// running on core. It returns when the access can be retried.
-func (s *System) Fault(p *sim.Proc, tid int, core topo.CoreID, page uint64) {
-	if s.Cfg.Ideal {
-		s.idealFault(p, core, page)
-		return
-	}
-	t0 := p.Now()
-
-	entry := s.Costs.FaultEntry
-	if s.Cfg.Stack == nic.StackKernel {
-		entry += s.Costs.KernelFaultPath
-	}
-	if s.Cfg.Virtualized {
-		entry += s.Costs.VirtFaultOverhead
-	}
-	p.Sleep(entry)
-
-	disp := s.AS.BeginFault(p, page)
-	if disp == pgtable.FaultAlreadyPresent {
-		s.MinorFaults.Inc()
-		p.Sleep(s.Costs.FaultExit)
-		return
-	}
-	zeroFill := disp == pgtable.FaultFetchZero
-	tBegin := p.Now()
-
-	// FP₁: obtain a free local frame; this is where synchronous eviction
-	// (Hermit/DiLOS) or free-page waiting (MAGE) happens.
-	frame, tlbInFP := s.allocFrame(p, tid, core)
-	tAlloc := p.Now()
-
-	// Linux charges swap-cache insertion and cgroup accounting per fault.
-	if s.Cfg.LinuxMM {
-		p.Sleep(s.Costs.SwapCache + s.Costs.Cgroup)
-	}
-	// Release the swap slot the page occupied (Linux frees the entry on
-	// swap-in; direct mapping has nothing to free).
-	if !zeroFill && s.remoteOf != nil {
-		if e := s.remoteOf[page]; e != swapspace.NilEntry {
-			s.Swap.Free(p, e)
-			s.remoteOf[page] = swapspace.NilEntry
-		}
-	}
-	tSwap := p.Now()
-
-	// FP₂: fetch the page — or clear a fresh frame for anonymous memory
-	// that has no remote content yet. remoteRead retries through injected
-	// faults; without a FaultPlan it is exactly NIC.Read.
-	if zeroFill {
-		p.Sleep(s.Costs.ZeroFill)
-	} else {
-		s.remoteRead(p, nic.PageSize)
-	}
-	tRead := p.Now()
-
-	// Install the translation, then FP₃: record the page as resident.
-	s.AS.CompleteFault(p, page, frame)
-	tComplete := p.Now()
-	s.Acct.Insert(p, core, page)
-	tAcct := p.Now()
-
-	p.Sleep(s.Costs.FaultExit)
-
-	if s.freeFrames() < s.Cfg.lowWatermarkFrames() {
-		s.kickEvictors()
-	}
-
-	s.MajorFaults.Inc()
-	s.FaultLatency.Record(int64(p.Now() - t0))
-	if s.Trace != nil {
-		s.Trace.Span("major-fault", "fp", trace.LaneApp, tid,
-			int64(t0), int64(p.Now()), map[string]any{"page": page})
-	}
-	b := s.FaultBreak
-	b.Add(CompRDMA, int64(tRead-tSwap))
-	b.Add(CompTLB, int64(tlbInFP))
-	b.Add(CompAcct, int64(tAcct-tComplete))
-	b.Add(CompAlloc, int64(tAlloc-tBegin-tlbInFP)+int64(tSwap-tAlloc))
-	b.Add(CompOthers, int64(tBegin-t0)+int64(tComplete-tRead)+int64(s.Costs.FaultExit))
-	b.AddOp()
-}
-
-// allocFrame obtains a free frame for the fault path, never giving up.
-// It returns the frame and the virtual time spent inside TLB shootdowns
-// (non-zero only when synchronous eviction ran).
-func (s *System) allocFrame(p *sim.Proc, tid int, core topo.CoreID) (buddy.Frame, sim.Time) {
-	var tlbTime sim.Time
-	for {
-		if f, ok := s.Alloc.Alloc(p, core); ok {
-			return f, tlbTime
-		}
-		s.kickEvictors()
-		if s.Cfg.SyncEviction {
-			// The faulting thread runs an eviction batch inline (the
-			// fallback MAGE forbids under P1).
-			s.SyncEvicts.Inc()
-			res := s.evictOnce(p, tid%maxInt(s.Cfg.EvictorThreads, 1), core, s.effectiveBatch(s.Cfg.SyncBatch), true)
-			tlbTime += res.tlbTime
-			if res.evicted == 0 {
-				// Nothing reclaimable this instant; let evictors run.
-				p.Sleep(s.Costs.EvictorWakeup)
-			}
-		} else {
-			t0 := p.Now()
-			s.freeWait.Wait(p)
-			s.FreeWaitNs += int64(p.Now() - t0)
-		}
-	}
-}
-
-// idealFault is the analytical baseline: only data movement, zero
-// software cost, instantaneous eviction (§3.1).
-func (s *System) idealFault(p *sim.Proc, core topo.CoreID, page uint64) {
-	t0 := p.Now()
-	disp := s.AS.BeginFault(p, page)
-	if disp == pgtable.FaultAlreadyPresent {
-		s.MinorFaults.Inc()
-		return
-	}
-	frame, ok := s.Alloc.Alloc(p, core)
-	for !ok {
-		// Evict the oldest resident page at zero cost.
-		if len(s.idealFIFO) == 0 {
-			panic("core: ideal system out of frames with empty residency list")
-		}
-		victim := s.idealFIFO[0]
-		s.idealFIFO = s.idealFIFO[1:]
-		r := s.AS.TryUnmap(p, victim, false)
-		if !r.OK {
-			continue // victim mid-fault; skip
-		}
-		// Coherence is free in the ideal model: drop TLB entries directly.
-		for _, c := range s.Machine.Cores() {
-			s.Shooter.TLBOf(c.ID).FlushPage(victim)
-		}
-		s.AS.CompleteEvict(p, victim)
-		s.Alloc.Free(p, core, r.Frame)
-		s.EvictedPages.Inc()
-		frame, ok = s.Alloc.Alloc(p, core)
-	}
-	if disp != pgtable.FaultFetchZero {
-		s.NIC.Read(p, nic.PageSize)
-	}
-	s.AS.CompleteFault(p, page, frame)
-	s.idealFIFO = append(s.idealFIFO, page)
-	s.MajorFaults.Inc()
-	s.FaultLatency.Record(int64(p.Now() - t0))
-}
-
-// prefetchAsync issues background fetches for predicted pages. Prefetches
-// never block on memory pressure: if no frame is immediately free the
-// prediction is dropped.
-func (s *System) prefetchAsync(core topo.CoreID, pages []uint64) {
-	for _, pg := range pages {
-		pg := pg
-		s.Eng.Spawn("prefetch", func(p *sim.Proc) {
-			if s.AS.BeginFault(p, pg) == pgtable.FaultAlreadyPresent {
-				return
-			}
-			f, ok := s.Alloc.Alloc(p, core)
-			if !ok {
-				s.AS.AbortFault(p, pg)
-				s.PrefetchDrop.Inc()
-				s.kickEvictors()
-				return
-			}
-			if s.FaultInj != nil {
-				// A prefetch is a bet, not an obligation: one attempt, and
-				// on any injected failure the prediction is dropped before
-				// its swap slot is touched.
-				if _, res := s.NIC.TryRead(p, nic.PageSize, s.Cfg.Retry.AttemptTimeout); res != nic.ReadOK {
-					s.AS.AbortFault(p, pg)
-					s.Alloc.Free(p, core, f)
-					s.PrefetchDrop.Inc()
-					return
-				}
-				if s.remoteOf != nil {
-					if e := s.remoteOf[pg]; e != swapspace.NilEntry {
-						s.Swap.Free(p, e)
-						s.remoteOf[pg] = swapspace.NilEntry
-					}
-				}
-				s.AS.CompleteFault(p, pg, f)
-				s.Acct.Insert(p, core, pg)
-				s.Prefetched.Inc()
-				if s.freeFrames() < s.Cfg.lowWatermarkFrames() {
-					s.kickEvictors()
-				}
-				return
-			}
-			if s.remoteOf != nil {
-				if e := s.remoteOf[pg]; e != swapspace.NilEntry {
-					s.Swap.Free(p, e)
-					s.remoteOf[pg] = swapspace.NilEntry
-				}
-			}
-			s.NIC.Read(p, nic.PageSize)
-			s.AS.CompleteFault(p, pg, f)
-			s.Acct.Insert(p, core, pg)
-			s.Prefetched.Inc()
-			if s.freeFrames() < s.Cfg.lowWatermarkFrames() {
-				s.kickEvictors()
-			}
-		})
-	}
-}
-
 func maxInt(a, b int) int {
 	if a > b {
 		return a
 	}
 	return b
-}
-
-// Thread drives one application thread's memory accesses against the
-// system. Consecutive hits accumulate virtual time locally and are flushed
-// in quanta, so simulating a hit costs no scheduler event.
-type Thread struct {
-	s       *System
-	p       *sim.Proc
-	TID     int
-	Core    topo.CoreID
-	det     prefetch.Detector
-	accum   sim.Time
-	quantum sim.Time
-
-	Accesses uint64
-	Faults   uint64
-}
-
-// NewThread binds thread tid to its placed core.
-func (s *System) NewThread(p *sim.Proc, tid int) *Thread {
-	var det prefetch.Detector = prefetch.None{}
-	if s.Cfg.Prefetch {
-		switch s.Cfg.PrefetchPolicy {
-		case PrefetchMajority:
-			det = prefetch.NewMajority(7, s.Cfg.PrefetchDegree, s.Cfg.TotalPages)
-		default:
-			det = prefetch.NewStride(3, s.Cfg.PrefetchDegree, s.Cfg.TotalPages)
-		}
-	}
-	return &Thread{
-		s:       s,
-		p:       p,
-		TID:     tid,
-		Core:    s.Placement.App[tid%len(s.Placement.App)],
-		det:     det,
-		quantum: 4 * sim.Microsecond,
-	}
-}
-
-// flushTime materializes accumulated compute time (dilated by the
-// virtualization factor) plus any cycles stolen from this thread's core
-// by interrupt handlers.
-func (t *Thread) flushTime() {
-	st := sim.Time(t.s.Machine.Core(t.Core).DrainStolen())
-	d := sim.Time(float64(t.accum)*t.s.Costs.ComputeFactor) + st
-	t.accum = 0
-	if d > 0 {
-		t.p.Sleep(d)
-	}
-}
-
-// Flush forces pending virtual time out; call at end of stream.
-func (t *Thread) Flush() { t.flushTime() }
-
-// Access performs one page access costing compute ns of CPU work,
-// faulting the page in if necessary.
-func (t *Thread) Access(page uint64, write bool, compute sim.Time) {
-	s := t.s
-	t.accum += compute
-	if t.accum >= t.quantum {
-		t.flushTime()
-	}
-	for {
-		tlb := s.Shooter.TLBOf(t.Core)
-		if tlb.Contains(page) {
-			st := s.AS.PTEOf(page).State
-			switch {
-			case st == pgtable.StatePresent:
-				tlb.Touch(page)
-				// A TLB-hit access does not re-walk the page table, so
-				// the PTE accessed bit is NOT refreshed — the property
-				// real reclaim depends on to find victims among hot
-				// pages (Linux clears A-bits without flushing the TLB
-				// for exactly this reason). A first write still re-walks
-				// to set the dirty bit.
-				if write {
-					s.AS.HardwareAccess(page, write)
-				}
-			case st == pgtable.StateEvicting && !write:
-				// Stale entry inside the unmap→shootdown window: the frame
-				// content is intact until writeback (which the eviction
-				// path only issues after the flush completes), so the read
-				// succeeds against the old frame.
-				tlb.Touch(page)
-			case st == pgtable.StateEvicting && write:
-				// A write with a clear TLB dirty bit re-walks the (now
-				// non-present) PTE and faults; conservatively treat every
-				// write in the window this way.
-				t.flushTime()
-				s.Fault(t.p, t.TID, t.Core, page)
-				t.Faults++
-				continue
-			default:
-				// After CompleteEvict the shootdown has settled, so no
-				// core may still cache the translation.
-				panic(fmt.Sprintf("core: TLB coherence violated: core %d caches page %d in state %v",
-					t.Core, page, st))
-			}
-			break
-		}
-		if s.AS.HardwareAccess(page, write) {
-			// TLB miss, page walk succeeds: hardware fill.
-			tlb.Touch(page)
-			t.accum += s.Costs.HWWalkFill
-			break
-		}
-		// Major fault.
-		t.flushTime()
-		s.Fault(t.p, t.TID, t.Core, page)
-		t.Faults++
-		if proposals := t.det.OnFault(page); len(proposals) > 0 {
-			s.prefetchAsync(t.Core, proposals)
-		}
-	}
-	t.Accesses++
-	s.AccessOps++
 }

@@ -97,6 +97,9 @@ type Scale struct {
 	Metis workload.MetisParams
 	MC    workload.MemcachedParams
 
+	// Colo sizes the multi-tenant co-location sweep.
+	Colo ColocateParams
+
 	// MicroPagesPerThread sizes the sequential-read microbenchmark.
 	MicroPagesPerThread int
 	// MCLoads is the offered-load sweep for Fig 13b (ops/s).
@@ -135,6 +138,17 @@ func Quick() Scale {
 		MC: workload.MemcachedParams{Keys: 1 << 17, ValueBytes: 256, Theta: 0.99,
 			GetFraction: 0.998, ComputePerOp: 1500},
 
+		Colo: ColocateParams{
+			Tenants:          []int{2, 4, 8},
+			Ratios:           []float64{0.5, 0.75},
+			ThreadsPerTenant: 6,
+			Zipf: workload.ZipfParams{Pages: 6 << 10, AccessesPerThread: 2500,
+				Theta: 0.99, WriteFraction: 0.3, ComputePerAccess: 1500},
+			Seq: workload.SeqScanParams{Pages: 6 << 10, Iterations: 1, ComputePerPage: 1500},
+			Gups: workload.GUPSParams{Pages: 6 << 10, UpdatesPerThread: 2500, PhaseSplit: 0.5,
+				HotFrac: 0.8, Theta: 0.99, ComputePerUpdate: 250},
+		},
+
 		MicroPagesPerThread: 1000,
 		MCLoads:             []float64{0.2e6, 0.5e6, 1e6, 1.5e6},
 		MCFixedLoad:         0.8e6,
@@ -159,6 +173,16 @@ func Full() Scale {
 		OutputPages: 2 << 10, EmitsPerInputPage: 2, MapCompute: 900, ReduceCompute: 700}
 	s.MC = workload.MemcachedParams{Keys: 1 << 19, ValueBytes: 256, Theta: 0.99,
 		GetFraction: 0.998, ComputePerOp: 1500}
+	s.Colo = ColocateParams{
+		Tenants:          []int{2, 3, 4, 6, 8},
+		Ratios:           []float64{0.4, 0.6, 0.8},
+		ThreadsPerTenant: 6,
+		Zipf: workload.ZipfParams{Pages: 16 << 10, AccessesPerThread: 6000,
+			Theta: 0.99, WriteFraction: 0.3, ComputePerAccess: 1500},
+		Seq: workload.SeqScanParams{Pages: 16 << 10, Iterations: 1, ComputePerPage: 1500},
+		Gups: workload.GUPSParams{Pages: 16 << 10, UpdatesPerThread: 6000, PhaseSplit: 0.5,
+			HotFrac: 0.8, Theta: 0.99, ComputePerUpdate: 250},
+	}
 	s.MicroPagesPerThread = 5000
 	s.MCLoads = []float64{0.2e6, 0.4e6, 0.8e6, 1.2e6, 1.6e6, 2.0e6}
 	s.MCDuration = 60 * sim.Millisecond

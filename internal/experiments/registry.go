@@ -35,6 +35,7 @@ var registry = map[string]Runner{
 	"extbackend": ExtBackends,
 	"extfault":   ExtFaultTolerance,
 	"claims":     Claims,
+	"colocate":   Colocate,
 }
 
 // Names returns all experiment IDs in stable order.

@@ -46,11 +46,19 @@ func (r ReadResult) String() string {
 // exactly Read. The returned duration is the virtual time the caller
 // spent on the attempt, whatever the result.
 func (n *NIC) TryRead(p *sim.Proc, bytes int64, timeout sim.Time) (sim.Time, ReadResult) {
-	if n.inj == nil {
+	return n.TryReadWith(p, bytes, timeout, n.inj)
+}
+
+// TryReadWith is TryRead under an explicit injector instead of the one
+// attached to the NIC — a multi-tenant node uses it to run each tenant's
+// reads through that tenant's own fault schedule while all tenants share
+// the NIC's serialization and counters. A nil inj is exactly Read.
+func (n *NIC) TryReadWith(p *sim.Proc, bytes int64, timeout sim.Time, inj *faultinject.Injector) (sim.Time, ReadResult) {
+	if inj == nil {
 		return n.Read(p, bytes), ReadOK
 	}
 	start := p.Now()
-	o := n.inj.ReadOutcome(start)
+	o := inj.ReadOutcome(start)
 	switch o.Drop {
 	case faultinject.DropTimeout:
 		// No response at all: the caller waits out its per-op timeout.

@@ -131,6 +131,11 @@ type AddressSpace struct {
 
 	resident int
 
+	// Label identifies this address space in invariant and panic
+	// messages — multi-tenant nodes set it to the owning tenant's id so a
+	// violation names the tenant it occurred in. Empty on standalone use.
+	Label string
+
 	// Faults counts BeginFault calls that initiated a fetch.
 	Faults stats.Counter
 	// DedupWaits counts faults absorbed by an in-flight fetch.
@@ -196,14 +201,23 @@ func (as *AddressSpace) LockWaitNs() int64 {
 	return 0
 }
 
+// who names this address space in diagnostics: "pgtable" when unlabeled,
+// "pgtable[<label>]" otherwise.
+func (as *AddressSpace) who() string {
+	if as.Label == "" {
+		return "pgtable"
+	}
+	return "pgtable[" + as.Label + "]"
+}
+
 // Map registers a VMA. Areas must not overlap.
 func (as *AddressSpace) Map(start, end uint64, name string) VMA {
 	if start >= end || end > as.numPages {
-		panic(fmt.Sprintf("pgtable: bad VMA [%d,%d) in %d pages", start, end, as.numPages))
+		panic(fmt.Sprintf("%s: bad VMA [%d,%d) in %d pages", as.who(), start, end, as.numPages))
 	}
 	for _, v := range as.vmas {
 		if start < v.End && v.Start < end {
-			panic(fmt.Sprintf("pgtable: VMA [%d,%d) overlaps %q", start, end, v.Name))
+			panic(fmt.Sprintf("%s: VMA [%d,%d) overlaps %q", as.who(), start, end, v.Name))
 		}
 	}
 	v := VMA{Start: start, End: end, Name: name}
@@ -334,7 +348,7 @@ func (as *AddressSpace) CompleteFault(p *sim.Proc, page uint64, frame buddy.Fram
 	mu := as.lock(p, page)
 	pte := &as.ptes[page]
 	if pte.State != StateFaulting {
-		panic(fmt.Sprintf("pgtable: CompleteFault on page %d in state %v", page, pte.State))
+		panic(fmt.Sprintf("%s: CompleteFault on page %d in state %v", as.who(), page, pte.State))
 	}
 	pte.State = StatePresent
 	pte.Frame = frame
@@ -391,7 +405,7 @@ func (as *AddressSpace) AbortFault(p *sim.Proc, page uint64) {
 	mu := as.lock(p, page)
 	pte := &as.ptes[page]
 	if pte.State != StateFaulting {
-		panic(fmt.Sprintf("pgtable: AbortFault on page %d in state %v", page, pte.State))
+		panic(fmt.Sprintf("%s: AbortFault on page %d in state %v", as.who(), page, pte.State))
 	}
 	pte.State = StateRemote
 	p.Sleep(as.costs.Update)
@@ -412,7 +426,7 @@ func (as *AddressSpace) AbortEvict(p *sim.Proc, page uint64) {
 	mu := as.lock(p, page)
 	pte := &as.ptes[page]
 	if pte.State != StateEvicting {
-		panic(fmt.Sprintf("pgtable: AbortEvict on page %d in state %v", page, pte.State))
+		panic(fmt.Sprintf("%s: AbortEvict on page %d in state %v", as.who(), page, pte.State))
 	}
 	pte.State = StatePresent
 	pte.Accessed = true
@@ -434,7 +448,7 @@ func (as *AddressSpace) CompleteEvict(p *sim.Proc, page uint64) {
 	mu := as.lock(p, page)
 	pte := &as.ptes[page]
 	if pte.State != StateEvicting {
-		panic(fmt.Sprintf("pgtable: CompleteEvict on page %d in state %v", page, pte.State))
+		panic(fmt.Sprintf("%s: CompleteEvict on page %d in state %v", as.who(), page, pte.State))
 	}
 	pte.State = StateRemote
 	pte.Frame = buddy.NilFrame
@@ -458,7 +472,7 @@ func (as *AddressSpace) CompleteEvict(p *sim.Proc, page uint64) {
 func (as *AddressSpace) InstallRaw(page uint64, frame buddy.Frame) {
 	pte := &as.ptes[page]
 	if pte.State != StateRemote && pte.State != StateZeroFill {
-		panic(fmt.Sprintf("pgtable: InstallRaw on page %d in state %v", page, pte.State))
+		panic(fmt.Sprintf("%s: InstallRaw on page %d in state %v", as.who(), page, pte.State))
 	}
 	pte.State = StatePresent
 	pte.Frame = frame
@@ -475,7 +489,7 @@ func (as *AddressSpace) MarkZeroFill(start, end uint64) {
 	for pg := start; pg < end && pg < as.numPages; pg++ {
 		pte := &as.ptes[pg]
 		if pte.State != StateRemote {
-			panic(fmt.Sprintf("pgtable: MarkZeroFill on page %d in state %v", pg, pte.State))
+			panic(fmt.Sprintf("%s: MarkZeroFill on page %d in state %v", as.who(), pg, pte.State))
 		}
 		pte.State = StateZeroFill
 	}
@@ -491,15 +505,15 @@ func (as *AddressSpace) checkPTE(page uint64) {
 	switch pte.State {
 	case StatePresent, StateEvicting:
 		invariant.Assert(pte.Frame != buddy.NilFrame,
-			"pgtable: page %d %v without a frame", page, pte.State)
+			"%s: page %d %v without a frame", as.who(), page, pte.State)
 	default:
 		invariant.Assert(pte.Frame == buddy.NilFrame,
-			"pgtable: page %d %v owns frame %d", page, pte.State, pte.Frame)
-		invariant.Assert(!pte.Dirty, "pgtable: page %d dirty while %v", page, pte.State)
-		invariant.Assert(!pte.Accessed, "pgtable: page %d accessed while %v", page, pte.State)
+			"%s: page %d %v owns frame %d", as.who(), page, pte.State, pte.Frame)
+		invariant.Assert(!pte.Dirty, "%s: page %d dirty while %v", as.who(), page, pte.State)
+		invariant.Assert(!pte.Accessed, "%s: page %d accessed while %v", as.who(), page, pte.State)
 	}
 	invariant.Assert(as.resident >= 0 && uint64(as.resident) <= as.numPages,
-		"pgtable: resident count %d outside [0,%d]", as.resident, as.numPages)
+		"%s: resident count %d outside [0,%d]", as.who(), as.resident, as.numPages)
 }
 
 // WaitQueueFor exposes the PTE's wait queue length (tests only).

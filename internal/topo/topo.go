@@ -114,14 +114,21 @@ func (m *Machine) Place(appThreads, evictors int) Placement {
 // AppCoresOf returns the distinct cores occupied by application threads in
 // the placement, in ascending order. TLB shootdowns must target these.
 func (pl Placement) AppCoresOf() []CoreID {
+	return DistinctCores(pl.App)
+}
+
+// DistinctCores returns the distinct cores in cs in first-seen order
+// (ascending when cs came from Place, which assigns cores in ascending
+// order). Multi-tenant nodes use it to derive each tenant's shootdown
+// target set from its contiguous slice of the placement.
+func DistinctCores(cs []CoreID) []CoreID {
 	seen := make(map[CoreID]bool)
 	var out []CoreID
-	for _, c := range pl.App {
+	for _, c := range cs {
 		if !seen[c] {
 			seen[c] = true
 			out = append(out, c)
 		}
 	}
-	// App cores are assigned in ascending order already; keep stable.
 	return out
 }

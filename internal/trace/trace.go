@@ -24,6 +24,8 @@ const (
 	PhaseInstant Phase = "i"
 	// PhaseCounter is a counter sample ("C").
 	PhaseCounter Phase = "C"
+	// PhaseMetadata is a metadata record ("M"), e.g. process_name.
+	PhaseMetadata Phase = "M"
 )
 
 // Event is one trace record. Times are virtual nanoseconds.
@@ -33,12 +35,15 @@ type Event struct {
 	Phase Phase
 	TS    int64 // start, ns
 	Dur   int64 // duration, ns (PhaseComplete only)
-	PID   int   // process lane (we use: 0=app, 1=eviction, 2=net)
+	PID   int   // process lane: the owning tenant id (see ProcessName)
 	TID   int   // thread within the lane
 	Args  map[string]any
 }
 
-// Lanes for PID.
+// Lanes for PID. The core tags every fault/eviction event with the owning
+// tenant's id, so chrome://tracing groups spans per tenant; a single-tenant
+// system emits everything on lane 0 (== LaneApp, the pre-multi-tenant
+// convention kept for tools that hardcode it).
 const (
 	LaneApp = iota
 	LaneEviction
@@ -81,6 +86,14 @@ func (r *Recorder) Instant(name, cat string, pid, tid int, ts int64) {
 // Counter records a counter sample.
 func (r *Recorder) Counter(name string, ts int64, values map[string]any) {
 	r.Add(Event{Name: name, Phase: PhaseCounter, TS: ts, Args: values})
+}
+
+// ProcessName emits the Chrome metadata event that labels process lane
+// pid in trace viewers. The core emits one per tenant at run start, so a
+// multi-tenant trace groups each tenant's spans under its name.
+func (r *Recorder) ProcessName(pid int, name string) {
+	r.Add(Event{Name: "process_name", Phase: PhaseMetadata, PID: pid,
+		Args: map[string]any{"name": name}})
 }
 
 // Len returns the number of recorded events.

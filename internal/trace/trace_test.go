@@ -58,6 +58,49 @@ func TestRecordAndExport(t *testing.T) {
 	}
 }
 
+// TestProcessNameMetadata: tenant identity export — metadata events carry
+// phase "M", the tenant id as PID, and the name in Args, so Chrome's
+// trace viewer groups each tenant's spans under a named process lane.
+func TestProcessNameMetadata(t *testing.T) {
+	r := New(0)
+	r.ProcessName(0, "tenant 0: zipf")
+	r.ProcessName(1, "tenant 1: seqscan")
+	r.Span("fault", "fp", 1, 3, 1000, 5000, nil)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var meta []map[string]any
+	for _, e := range evs {
+		if e["ph"] == string(PhaseMetadata) {
+			meta = append(meta, e)
+		}
+	}
+	if len(meta) != 2 {
+		t.Fatalf("exported %d metadata events, want 2", len(meta))
+	}
+	for i, e := range meta {
+		if e["name"] != "process_name" {
+			t.Errorf("metadata %d name = %v", i, e["name"])
+		}
+		if int(e["pid"].(float64)) != i {
+			t.Errorf("metadata %d pid = %v, want %d", i, e["pid"], i)
+		}
+	}
+	if args, ok := meta[1]["args"].(map[string]any); !ok || args["name"] != "tenant 1: seqscan" {
+		t.Errorf("metadata args = %v", meta[1]["args"])
+	}
+	for _, e := range evs {
+		if e["name"] == "fault" && int(e["pid"].(float64)) != 1 {
+			t.Errorf("fault span pid = %v, want the owning tenant id 1", e["pid"])
+		}
+	}
+}
+
 func TestLimitDropsExcess(t *testing.T) {
 	r := New(2)
 	for i := 0; i < 10; i++ {

@@ -42,6 +42,14 @@ type (
 	Config = core.Config
 	// System is an assembled far-memory machine.
 	System = core.System
+	// Node is the substrate shared by co-located tenants: engine, NIC,
+	// frame pool, global page accounting, and the eviction threads.
+	Node = core.Node
+	// Tenant is one application's slice of a Node: address space, core
+	// affinity, and per-tenant metrics.
+	Tenant = core.Tenant
+	// TenantSpec describes one application co-located on a Node.
+	TenantSpec = core.TenantSpec
 	// Metrics is a measurement snapshot.
 	Metrics = core.Metrics
 	// RunResult is a completed workload execution.
@@ -70,6 +78,8 @@ type (
 	XSBenchParams = workload.XSBenchParams
 	// SeqScanParams sizes the sequential scan.
 	SeqScanParams = workload.SeqScanParams
+	// ZipfParams sizes the closed-loop skewed-random workload.
+	ZipfParams = workload.ZipfParams
 	// GUPSParams sizes the phase-changing update workload.
 	GUPSParams = workload.GUPSParams
 	// MetisParams sizes the MapReduce workload.
@@ -88,6 +98,10 @@ var (
 	NewSystem = core.NewSystem
 	// MustNewSystem is NewSystem that panics on invalid configs.
 	MustNewSystem = core.MustNewSystem
+	// NewNode builds a multi-tenant node: cfg describes the shared
+	// substrate, specs the co-located applications. Run the tenants with
+	// Node.RunTenants, one stream set per tenant.
+	NewNode = core.NewNode
 	// Preset returns a named system config: "ideal", "hermit", "dilos",
 	// "magelib", "magelnx".
 	Preset = core.Preset
@@ -107,6 +121,7 @@ var (
 	NewGapBS     = workload.NewGapBS
 	NewXSBench   = workload.NewXSBench
 	NewSeqScan   = workload.NewSeqScan
+	NewZipf      = workload.NewZipf
 	NewGUPS      = workload.NewGUPS
 	NewMetis     = workload.NewMetis
 	NewMemcached = workload.NewMemcached
@@ -114,6 +129,7 @@ var (
 	DefaultGapBSParams     = workload.DefaultGapBS
 	DefaultXSBenchParams   = workload.DefaultXSBench
 	DefaultSeqScanParams   = workload.DefaultSeqScan
+	DefaultZipfParams      = workload.DefaultZipf
 	DefaultGUPSParams      = workload.DefaultGUPS
 	DefaultMetisParams     = workload.DefaultMetis
 	DefaultMemcachedParams = workload.DefaultMemcached
