@@ -26,12 +26,17 @@ fmt:
 	gofmt -l .
 
 # Benchmark snapshot: engine dispatch + figure regeneration + the fault
-# pipeline with and without injected faults, recorded as JSON (name,
-# ns/op, reported metrics such as events/s and retries/op) for diffing
-# across commits — robustness regressions show up next to perf ones.
+# pipeline with and without injected faults + the memnode wire protocol
+# (stop-and-wait roundtrip and depth-32 pipeline), recorded as JSON
+# (name, ns/op, reported metrics such as events/s, retries/op, pages/s,
+# p99-us, allocs/op) for diffing across commits — robustness regressions
+# show up next to perf ones. -require makes the snapshot fail loudly if
+# a pinned memnode metric stops being reported.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineDispatch|BenchmarkParexpFigures|BenchmarkFaultPathMageLib|BenchmarkFaultToleranceMageLib|BenchmarkColocateNode' ./... \
-		| tee /dev/stderr | $(GO) run ./cmd/benchsnap > BENCH_$(BENCH_DATE).json
+	$(GO) test -run '^$$' -benchmem -bench 'BenchmarkEngineDispatch|BenchmarkParexpFigures|BenchmarkFaultPathMageLib|BenchmarkFaultToleranceMageLib|BenchmarkColocateNode|BenchmarkMemnodePipeline|BenchmarkServerRoundtrip' ./... \
+		| tee /dev/stderr | $(GO) run ./cmd/benchsnap \
+			-require 'BenchmarkMemnodePipeline:pages/s,BenchmarkMemnodePipeline:p99-us,BenchmarkServerRoundtrip:allocs/op' \
+			> BENCH_$(BENCH_DATE).json
 
 # Coverage floor for internal/core, set just under the level the
 # Node/Tenant split landed at so fault/eviction-path statements cannot

@@ -5,6 +5,13 @@
 //
 //	go test -bench=. -benchmem ./... | benchsnap > BENCH_2026-01-02.json
 //
+// -require pins metrics that must be present in the snapshot
+// (comma-separated Bench:metric pairs, e.g.
+// "BenchmarkMemnodePipeline:pages/s,BenchmarkEngineDispatch:events/s");
+// if a named benchmark or metric is missing the exit code is 1, so a
+// CI bench step fails loudly when a pinned number silently disappears
+// instead of producing a snapshot that no longer tracks it.
+//
 // Every benchmark line is captured with its iteration count, ns/op, and
 // any extra metrics the benchmark reported via b.ReportMetric (e.g. the
 // engine's events/s — simulated events dispatched per host second — the
@@ -15,6 +22,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -99,7 +107,47 @@ func parse(in io.Reader) (Snapshot, error) {
 	return snap, sc.Err()
 }
 
-func run(in io.Reader, out, errw io.Writer) int {
+// checkRequired verifies every "Bench:metric" pair against the parsed
+// snapshot. Benchmark names are matched by prefix because bench lines
+// carry a -N GOMAXPROCS suffix ("BenchmarkMemnodePipeline-8"); the
+// metric "ns/op" is always present on a parsed line, anything else must
+// appear in the result's extra-metrics map.
+func checkRequired(snap Snapshot, require string, errw io.Writer) int {
+	missing := 0
+	for _, req := range strings.Split(require, ",") {
+		req = strings.TrimSpace(req)
+		if req == "" {
+			continue
+		}
+		name, metric, ok := strings.Cut(req, ":")
+		if !ok {
+			fmt.Fprintf(errw, "benchsnap: bad -require entry %q (want Bench:metric)\n", req)
+			missing++
+			continue
+		}
+		found := false
+		for _, r := range snap.Results {
+			if r.Name != name && !strings.HasPrefix(r.Name, name+"-") {
+				continue
+			}
+			if metric == "ns/op" {
+				found = true
+				break
+			}
+			if _, ok := r.Metrics[metric]; ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(errw, "benchsnap: required metric %q missing from bench output\n", req)
+			missing++
+		}
+	}
+	return missing
+}
+
+func run(in io.Reader, out, errw io.Writer, require string) int {
 	snap, err := parse(in)
 	if err != nil {
 		fmt.Fprintln(errw, "benchsnap:", err)
@@ -119,9 +167,15 @@ func run(in io.Reader, out, errw io.Writer) int {
 		fmt.Fprintf(errw, "benchsnap: %d FAIL line(s) in bench output\n", len(snap.FailLines))
 		return 1
 	}
+	if checkRequired(snap, require, errw) > 0 {
+		return 1
+	}
 	return 0
 }
 
 func main() {
-	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+	require := flag.String("require", "",
+		"comma-separated Bench:metric pairs that must be present (exit 1 if missing)")
+	flag.Parse()
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, *require))
 }

@@ -100,7 +100,7 @@ BenchmarkColocateNode-8   	    4096	     52210 ns/op	         0.4100 evicted/op	
 
 func TestRunEmitsJSONAndExitCodes(t *testing.T) {
 	var out, errw bytes.Buffer
-	if code := run(strings.NewReader(sample), &out, &errw); code != 0 {
+	if code := run(strings.NewReader(sample), &out, &errw, ""); code != 0 {
 		t.Fatalf("run = %d, want 0; stderr: %s", code, &errw)
 	}
 	var snap Snapshot
@@ -113,14 +113,48 @@ func TestRunEmitsJSONAndExitCodes(t *testing.T) {
 
 	out.Reset()
 	errw.Reset()
-	if code := run(strings.NewReader("no benchmarks here\n"), &out, &errw); code != 1 {
+	if code := run(strings.NewReader("no benchmarks here\n"), &out, &errw, ""); code != 1 {
 		t.Errorf("run on empty input = %d, want 1", code)
 	}
 
 	out.Reset()
 	errw.Reset()
 	failed := sample + "--- FAIL: TestX\nFAIL\n"
-	if code := run(strings.NewReader(failed), &out, &errw); code != 1 {
+	if code := run(strings.NewReader(failed), &out, &errw, ""); code != 1 {
 		t.Errorf("run on failing bench output = %d, want 1", code)
+	}
+}
+
+// TestRequiredMetrics pins the -require contract: named benchmarks are
+// matched despite the -N cpu suffix, a present metric passes, and a
+// missing benchmark, missing metric, or malformed pair all exit 1 with
+// a diagnostic on stderr.
+func TestRequiredMetrics(t *testing.T) {
+	const pipeline = `pkg: mage/internal/memnode
+BenchmarkServerRoundtrip-8   	   90000	     16500 ns/op	 496.48 MB/s	       2 allocs/op
+BenchmarkMemnodePipeline-8   	  500000	      6500 ns/op	 630.15 MB/s	    215000 pages/s
+`
+	cases := []struct {
+		require string
+		code    int
+	}{
+		{"", 0},
+		{"BenchmarkMemnodePipeline:pages/s", 0},
+		{"BenchmarkMemnodePipeline:pages/s,BenchmarkServerRoundtrip:allocs/op", 0},
+		{"BenchmarkMemnodePipeline:ns/op", 0},
+		{" BenchmarkMemnodePipeline:pages/s , ", 0}, // whitespace and empties tolerated
+		{"BenchmarkMemnodePipeline:p99-us", 1},      // metric not reported
+		{"BenchmarkVanished:pages/s", 1},            // benchmark not present
+		{"BenchmarkMemnode:pages/s", 1},             // prefix must stop at the -N suffix
+		{"not-a-pair", 1},                           // malformed entry
+	}
+	for _, tc := range cases {
+		var out, errw bytes.Buffer
+		if code := run(strings.NewReader(pipeline), &out, &errw, tc.require); code != tc.code {
+			t.Errorf("run(-require %q) = %d, want %d; stderr: %s", tc.require, code, tc.code, &errw)
+		}
+		if tc.code == 1 && errw.Len() == 0 {
+			t.Errorf("run(-require %q) failed silently", tc.require)
+		}
 	}
 }

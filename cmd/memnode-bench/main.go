@@ -1,25 +1,56 @@
 // Command memnode-bench load-tests a far-memory node daemon over real
-// TCP: it registers a region, then drives concurrent one-sided page reads
-// and writes, reporting throughput and latency percentiles — the
-// network-substrate counterpart of the simulated NIC benchmarks.
+// TCP: it registers a region, then drives one-sided page reads and
+// writes through the pipelined v2 client, reporting throughput and
+// latency percentiles — the network-substrate counterpart of the
+// simulated NIC benchmarks.
+//
+// -depth controls how many requests each connection keeps in flight
+// (depth 1 degenerates to the old stop-and-wait behavior); -batch > 1
+// moves batches of pages per verb via READV/WRITEV. The ISSUE's
+// headline number is the -depth 32 vs -depth 1 throughput ratio on a
+// single connection:
+//
+//	memnode-bench -spawn -workers 1 -depth 1
+//	memnode-bench -spawn -workers 1 -depth 32
 //
 // Usage:
 //
 //	memnode &                                # or: memnode-bench -spawn
-//	memnode-bench -addr 127.0.0.1:7170 -workers 8 -ops 20000 -write-frac 0.2
+//	memnode-bench -addr 127.0.0.1:7170 -workers 8 -ops 20000 -write-frac 0.2 -depth 32 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
-	"sort"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mage/internal/memnode"
+	"mage/internal/stats"
 )
+
+type report struct {
+	Workers     int     `json:"workers"`
+	Depth       int     `json:"depth"`
+	Batch       int     `json:"batch"`
+	PageBytes   int64   `json:"page_bytes"`
+	Ops         uint64  `json:"ops"`
+	Pages       uint64  `json:"pages"`
+	Errors      uint64  `json:"errors"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	PagesPerSec float64 `json:"pages_per_sec"`
+	MiBPerSec   float64 `json:"mib_per_sec"`
+	P50Us       float64 `json:"p50_us"`
+	P90Us       float64 `json:"p90_us"`
+	P99Us       float64 `json:"p99_us"`
+	MaxUs       float64 `json:"max_us"`
+}
 
 func main() {
 	var (
@@ -27,12 +58,18 @@ func main() {
 		spawn     = flag.Bool("spawn", false, "start an in-process memory node instead of dialing addr")
 		regionMB  = flag.Int64("region-mb", 256, "region size to register (MiB)")
 		workers   = flag.Int("workers", 8, "concurrent client connections")
+		depth     = flag.Int("depth", 1, "requests in flight per connection")
+		batch     = flag.Int("batch", 1, "pages per operation (>1 uses READV/WRITEV)")
 		ops       = flag.Int("ops", 20000, "operations per worker")
 		writeFrac = flag.Float64("write-frac", 0.2, "fraction of writes")
-		pageBytes = flag.Int64("page-bytes", 4096, "transfer size")
+		pageBytes = flag.Int64("page-bytes", 4096, "transfer size per page")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		jsonOut   = flag.Bool("json", false, "emit a single JSON report on stdout")
 	)
 	flag.Parse()
+	if *depth < 1 || *batch < 1 {
+		log.Fatal("memnode-bench: -depth and -batch must be >= 1")
+	}
 
 	target := *addr
 	if *spawn {
@@ -42,10 +79,16 @@ func main() {
 		}
 		defer srv.Close()
 		target = srv.Addr()
-		fmt.Println("spawned in-process memory node at", target)
+		if !*jsonOut {
+			fmt.Println("spawned in-process memory node at", target)
+		}
 	}
 
-	setup, err := memnode.Dial(target)
+	opts := memnode.DefaultOptions()
+	if opts.Window < *depth {
+		opts.Window = *depth
+	}
+	setup, err := memnode.DialOptions(target, opts)
 	if err != nil {
 		log.Fatalf("memnode-bench: %v", err)
 	}
@@ -56,11 +99,8 @@ func main() {
 	}
 	pages := (*regionMB << 20) / *pageBytes
 
-	type result struct {
-		latencies []time.Duration
-		errs      int
-	}
-	results := make([]result, *workers)
+	lat := stats.NewConcurrentHistogram()
+	var errs atomic.Uint64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
@@ -68,55 +108,117 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := memnode.Dial(target)
+			c, err := memnode.DialOptions(target, opts)
 			if err != nil {
-				results[w].errs++
+				errs.Add(uint64(*ops))
 				return
 			}
 			defer c.Close()
-			rng := rand.New(rand.NewSource(*seed + int64(w)))
-			buf := make([]byte, *pageBytes)
-			rng.Read(buf)
-			lats := make([]time.Duration, 0, *ops)
-			for i := 0; i < *ops; i++ {
-				off := rng.Int63n(pages) * *pageBytes
-				t0 := time.Now()
-				if rng.Float64() < *writeFrac {
-					err = c.Write(region, off, buf)
-				} else {
-					_, err = c.Read(region, off, *pageBytes)
+			// Each connection runs `depth` lanes of synchronous ops; the
+			// client multiplexes them onto one pipelined stream, so the
+			// connection keeps `depth` requests in flight.
+			var laneWG sync.WaitGroup
+			for d := 0; d < *depth; d++ {
+				d := d
+				laneOps := *ops / *depth
+				if d < *ops%*depth {
+					laneOps++
 				}
-				if err != nil {
-					results[w].errs++
-					continue
-				}
-				lats = append(lats, time.Since(t0))
+				laneWG.Add(1)
+				go func() {
+					defer laneWG.Done()
+					rng := rand.New(rand.NewSource(*seed + int64(w)*1009 + int64(d)))
+					h := stats.NewHistogram()
+					buf := make([]byte, *pageBytes)
+					rng.Read(buf)
+					bufs := make([][]byte, *batch)
+					for i := range bufs {
+						bufs[i] = buf
+					}
+					// Generate the lane's whole workload up front so the
+					// timed loop measures the protocol, not the rng.
+					writes := make([]bool, laneOps)
+					laneOffs := make([][]int64, laneOps)
+					for i := range writes {
+						writes[i] = rng.Float64() < *writeFrac
+						laneOffs[i] = make([]int64, *batch)
+						for j := range laneOffs[i] {
+							laneOffs[i][j] = rng.Int63n(pages) * *pageBytes
+						}
+					}
+					for i := 0; i < laneOps; i++ {
+						isWrite := writes[i]
+						offs := laneOffs[i]
+						var err error
+						t0 := time.Now()
+						switch {
+						case *batch > 1 && isWrite:
+							err = c.WriteV(region, offs, bufs)
+						case *batch > 1:
+							var got [][]byte
+							got, err = c.ReadV(region, offs, *pageBytes)
+							if err == nil {
+								memnode.PutBuf(got[0][:0:cap(got[0])])
+							}
+						case isWrite:
+							err = c.Write(region, offs[0], buf)
+						default:
+							var body []byte
+							body, err = c.Read(region, offs[0], *pageBytes)
+							if err == nil {
+								memnode.PutBuf(body)
+							}
+						}
+						if err != nil {
+							errs.Add(1)
+							continue
+						}
+						h.Record(time.Since(t0).Nanoseconds())
+					}
+					lat.Merge(h)
+				}()
 			}
-			results[w].latencies = lats
+			laneWG.Wait()
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []time.Duration
-	errs := 0
-	for _, r := range results {
-		all = append(all, r.latencies...)
-		errs += r.errs
-	}
-	if len(all) == 0 {
+	h := lat.Snapshot()
+	if h.Count() == 0 {
 		log.Fatal("memnode-bench: no successful operations")
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(q float64) time.Duration { return all[int(q*float64(len(all)-1))] }
-	totalBytes := int64(len(all)) * *pageBytes
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	r := report{
+		Workers:     *workers,
+		Depth:       *depth,
+		Batch:       *batch,
+		PageBytes:   *pageBytes,
+		Ops:         h.Count(),
+		Pages:       h.Count() * uint64(*batch),
+		Errors:      errs.Load(),
+		ElapsedSec:  elapsed.Seconds(),
+		OpsPerSec:   float64(h.Count()) / elapsed.Seconds(),
+		PagesPerSec: float64(h.Count()*uint64(*batch)) / elapsed.Seconds(),
+		P50Us:       us(h.P50()),
+		P90Us:       us(h.P90()),
+		P99Us:       us(h.P99()),
+		MaxUs:       us(h.Max()),
+	}
+	r.MiBPerSec = r.PagesPerSec * float64(*pageBytes) / (1 << 20)
 
-	fmt.Printf("ops:        %d (%d errors)\n", len(all), errs)
-	fmt.Printf("throughput: %.0f ops/s, %.1f MiB/s\n",
-		float64(len(all))/elapsed.Seconds(),
-		float64(totalBytes)/elapsed.Seconds()/(1<<20))
-	fmt.Printf("latency:    p50=%v p90=%v p99=%v max=%v\n",
-		pct(0.50), pct(0.90), pct(0.99), all[len(all)-1])
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("ops:        %d (%d pages, %d errors)\n", r.Ops, r.Pages, r.Errors)
+	fmt.Printf("pipeline:   %d conns x depth %d x batch %d\n", r.Workers, r.Depth, r.Batch)
+	fmt.Printf("throughput: %.0f ops/s, %.0f pages/s, %.1f MiB/s\n", r.OpsPerSec, r.PagesPerSec, r.MiBPerSec)
+	fmt.Printf("latency:    p50=%.0fus p90=%.0fus p99=%.0fus max=%.0fus\n", r.P50Us, r.P90Us, r.P99Us, r.MaxUs)
 
 	if st, err := setup.Stat(); err == nil {
 		fmt.Printf("node stats: %d reads, %d writes, %d B served\n",

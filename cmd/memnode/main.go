@@ -1,10 +1,12 @@
 // Command memnode runs the far-memory node daemon (§5.2): a passive
 // server that registers memory regions and serves one-sided page reads
-// and writes over TCP.
+// and writes over TCP. Connections speak the pipelined v2 wire protocol
+// when the client negotiates it and fall back to v1 stop-and-wait
+// otherwise; -proto 1 pins the node to v1 for interop testing.
 //
 // Usage:
 //
-//	memnode -listen :7170 -capacity-mb 4096
+//	memnode -listen :7170 -capacity-mb 4096 -workers 8
 package main
 
 import (
@@ -20,14 +22,22 @@ func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:7170", "listen address")
 		capacity = flag.Int64("capacity-mb", 1024, "served memory capacity in MiB")
+		proto    = flag.Int("proto", 2, "max wire protocol to accept (1 = legacy stop-and-wait, 2 = pipelined)")
+		workers  = flag.Int("workers", 0, "per-connection worker pool for pipelined ops (0 = default)")
 	)
 	flag.Parse()
+	if *proto != 1 && *proto != 2 {
+		log.Fatalf("memnode: -proto must be 1 or 2, got %d", *proto)
+	}
 
-	srv, err := memnode.NewServer(*listen, *capacity<<20)
+	srv, err := memnode.NewServerOptions(*listen, *capacity<<20, memnode.ServerOptions{
+		MaxProtocol: *proto,
+		Workers:     *workers,
+	})
 	if err != nil {
 		log.Fatalf("memnode: %v", err)
 	}
-	log.Printf("memnode: serving %d MiB on %s", *capacity, srv.Addr())
+	log.Printf("memnode: serving %d MiB on %s (max proto v%d)", *capacity, srv.Addr(), *proto)
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)

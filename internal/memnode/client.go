@@ -1,18 +1,21 @@
 package memnode
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
-	"sync" //magevet:ok memnode is a real TCP client, not virtual-time simulation code
-	"time" //magevet:ok real network deadlines and backoff need wall-clock time
+	"runtime"
+	"sync"        //magevet:ok memnode is a real TCP client, not virtual-time simulation code
+	"sync/atomic" //magevet:ok lock-free robustness counters keep Metrics off the data path
+	"time"        //magevet:ok real network deadlines and backoff need wall-clock time
 )
 
 // Options tunes the client's robustness behavior: connection and per-op
-// deadlines, and the reconnect/retry policy. It mirrors the DES retry
-// layer (core.RetryPolicy) in the real world.
+// deadlines, the reconnect/retry policy, and the pipelining window. It
+// mirrors the DES retry layer (core.RetryPolicy) in the real world.
 type Options struct {
 	// DialTimeout bounds each (re)connection attempt.
 	DialTimeout time.Duration
@@ -25,6 +28,14 @@ type Options struct {
 	// BaseBackoff doubles per consecutive failure up to MaxBackoff.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// Window bounds the operations one client keeps in flight on its
+	// multiplexed connection (default 128). Ops beyond the window queue
+	// at the client instead of on the wire.
+	Window int
+	// Protocol pins the wire protocol: 1 forces v1 stop-and-wait (no
+	// HELLO is sent); any other value negotiates v2 with transparent
+	// fallback to v1 when the server predates it.
+	Protocol int
 }
 
 // DefaultOptions returns the production defaults: patient enough to ride
@@ -36,6 +47,8 @@ func DefaultOptions() Options {
 		MaxAttempts: 8,
 		BaseBackoff: 20 * time.Millisecond,
 		MaxBackoff:  time.Second,
+		Window:      128,
+		Protocol:    protoV2,
 	}
 }
 
@@ -56,6 +69,12 @@ func (o *Options) fillDefaults() {
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = d.MaxBackoff
 	}
+	if o.Window <= 0 {
+		o.Window = d.Window
+	}
+	if o.Protocol != protoV1 {
+		o.Protocol = protoV2
+	}
 }
 
 // ClientStats counts the client's robustness events. All zero on a
@@ -68,8 +87,11 @@ type ClientStats struct {
 	// RegionReplays counts REGISTER replays after a server lost a region
 	// (i.e. restarted).
 	RegionReplays uint64
-	// Timeouts counts attempts that failed on an expired deadline.
+	// Timeouts counts stream failures caused by an expired deadline.
 	Timeouts uint64
+	// V1Fallbacks counts connections negotiated down to the v1
+	// stop-and-wait protocol because the server rejected the HELLO.
+	V1Fallbacks uint64
 }
 
 // region is the client-side record of a region this client registered:
@@ -91,24 +113,363 @@ type serverError struct{ msg string }
 
 func (e *serverError) Error() string { return "memnode: " + e.msg }
 
+// errRegionLost is the in-client signal that the server answered
+// statusErrRegion.
+var errRegionLost = errors.New("memnode: server lost region")
+
+// call is one operation attempt as the stream layer sees it: the wire
+// fields, the payload vectors to writev after the header, and the
+// completion state the reader fills in.
+type call struct {
+	op     byte
+	handle uint64 // caller's stable region handle (do translates per attempt)
+	srvID  uint64 // server's current region ID for this attempt
+	offset int64
+	length int64       // wire length field (payload bytes, read size, or region size)
+	bufs   net.Buffers // request payload vectors (nil for READ/STAT/REGISTER)
+
+	// Batch shape, kept so the v1 fallback can decompose the batch into
+	// single-page ops with identical semantics.
+	iovs  []iovec
+	pages [][]byte
+
+	id       uint64
+	deadline time.Time
+	done     chan struct{}
+	body     []byte
+	err      error
+}
+
+// stream is one live connection generation. A v2 stream runs a writer
+// goroutine (draining sendq, one writev per frame) and a reader
+// goroutine (matching response frames to pending calls by ID); a v1
+// stream degenerates to mutex-serialized stop-and-wait on the same
+// struct. Any IO or protocol error poisons the whole stream: every
+// pending call fails at once and the client re-dials lazily.
+type stream struct {
+	c    *Client
+	conn net.Conn
+	v1   bool
+
+	v1mu sync.Mutex //magevet:ok real TCP client: serializes stop-and-wait exchanges on a v1 connection
+
+	sendq chan *call
+	dead  chan struct{}
+
+	pmu     sync.Mutex //magevet:ok real TCP client: guards the pending-call table shared by writer/reader goroutines
+	pending map[uint64]*call
+	err     error
+	idSrc   uint64 // last request ID issued; under pmu
+}
+
+func newStream(c *Client, conn net.Conn, v1 bool) *stream {
+	s := &stream{
+		c:       c,
+		conn:    conn,
+		v1:      v1,
+		dead:    make(chan struct{}),
+		pending: make(map[uint64]*call),
+	}
+	if !v1 {
+		s.sendq = make(chan *call, c.opts.Window+8)
+		go s.writeLoop() //magevet:ok real TCP client: one writer goroutine per pipelined connection
+		go s.readLoop()  //magevet:ok real TCP client: one reader/demux goroutine per pipelined connection
+	}
+	return s
+}
+
+// alive reports whether the stream has not been poisoned.
+func (s *stream) alive() bool {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.err == nil
+}
+
+// fail poisons the stream exactly once: the connection is closed, and
+// every pending call completes with err. Later submissions are refused
+// at the pending-table check.
+func (s *stream) fail(err error) {
+	s.pmu.Lock()
+	if s.err != nil {
+		s.pmu.Unlock()
+		return
+	}
+	s.err = err
+	pend := s.pending
+	s.pending = nil
+	close(s.dead)
+	s.pmu.Unlock()
+	s.conn.Close()
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.c.timeouts.Add(1)
+	}
+	for _, ca := range pend { //magevet:ok fail-all on a poisoned stream: each pending call errors exactly once, order cannot matter
+		ca.err = err
+		close(ca.done)
+	}
+}
+
+// exec runs one request on the stream and blocks until its response
+// arrives or the stream dies. Safe for any number of concurrent callers;
+// that concurrency is exactly the pipeline.
+func (s *stream) exec(ca *call) ([]byte, error) {
+	ca.body, ca.err = nil, nil
+	if s.v1 {
+		return s.execV1(ca)
+	}
+	ca.done = make(chan struct{})
+	s.pmu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.pmu.Unlock()
+		return nil, err
+	}
+	s.idSrc++
+	ca.id = s.idSrc
+	s.pending[ca.id] = ca
+	s.pmu.Unlock()
+	select {
+	case s.sendq <- ca:
+	case <-s.dead:
+		// fail() already completed ca (it was in the pending table).
+	}
+	<-ca.done
+	return ca.body, ca.err
+}
+
+// writeBatch bounds how many queued requests one writev coalesces.
+const writeBatch = 32
+
+// inlineExecMax is the largest transfer the server's v2 reader executes
+// inline rather than handing to the worker pool (see serveV2).
+const inlineExecMax = 64 << 10
+
+// writeLoop drains the send queue, coalescing up to writeBatch queued
+// requests (headers and payloads alike) into a single writev — at
+// depth the dominant cost of the pipeline is syscalls, not copies.
+// After each batch it pushes the connection's read deadline out to the
+// batch's deadline, so a server that goes silent with requests
+// outstanding is detected within ~IOTimeout of the last write even if
+// the reader was idle.
+func (s *stream) writeLoop() {
+	var hdrs [writeBatch][v2ReqHdrLen]byte
+	iov := make(net.Buffers, 0, 2*writeBatch)
+	batch := make([]*call, 0, writeBatch)
+	for {
+		select {
+		case ca := <-s.sendq:
+			batch = append(batch[:0], ca)
+			// Two drain rounds with a yield between them: on a busy
+			// pipeline the other submitting goroutines are runnable right
+			// now, and letting them enqueue first turns N single-frame
+			// writevs into one batched writev. On an idle connection the
+			// yield costs nanoseconds and the frame goes out alone.
+			for round := 0; round < 2 && len(batch) < writeBatch; round++ {
+				// This goroutine is sendq's only receiver, so a non-zero
+				// len() guarantees the receive below cannot block — a plain
+				// recv is ~3x cheaper than a select-with-default here.
+				for len(batch) < writeBatch && len(s.sendq) > 0 {
+					batch = append(batch, <-s.sendq)
+				}
+				if round == 0 && len(batch) < writeBatch {
+					runtime.Gosched() //magevet:ok micro-batching yield on a real TCP client's writer goroutine
+				}
+			}
+			iov = iov[:0]
+			for i, b := range batch {
+				hdr := &hdrs[i]
+				hdr[0] = b.op
+				binary.LittleEndian.PutUint64(hdr[1:], b.id)
+				binary.LittleEndian.PutUint64(hdr[9:], b.srvID)
+				binary.LittleEndian.PutUint64(hdr[17:], uint64(b.offset))
+				binary.LittleEndian.PutUint64(hdr[25:], uint64(b.length))
+				iov = append(iov, hdr[:])
+				iov = append(iov, b.bufs...)
+			}
+			last := batch[len(batch)-1].deadline
+			s.conn.SetWriteDeadline(last)
+			if _, err := iov.WriteTo(s.conn); err != nil {
+				s.fail(err)
+				return
+			}
+			// Arm the read deadline under pmu so it linearizes against the
+			// reader's drained-pipeline clear: a new batch can never be
+			// left without a deadline by a racing clear.
+			s.pmu.Lock()
+			s.conn.SetReadDeadline(last)
+			s.pmu.Unlock()
+		case <-s.dead:
+			return
+		}
+	}
+}
+
+// readLoop demultiplexes response frames back to pending calls by
+// request ID. Frames are read through a bufio layer (small responses
+// that arrive together cost one syscall, not two each); the read
+// deadline is managed on transitions — the writer pushes it out per
+// batch, and the reader clears it when the pipeline drains — so a
+// healthy stream pays no per-response deadline syscalls while a stuck
+// one still poisons within ~2x IOTimeout of its oldest request.
+func (s *stream) readLoop() {
+	br := bufio.NewReaderSize(s.conn, 64<<10)
+	var rhdr [v2RespHdrLen]byte
+	for {
+		if _, err := io.ReadFull(br, rhdr[:]); err != nil {
+			s.fail(err)
+			return
+		}
+		status := rhdr[0]
+		id := binary.LittleEndian.Uint64(rhdr[1:9])
+		n := binary.LittleEndian.Uint64(rhdr[9:17])
+		if n > maxV2Payload {
+			s.fail(fmt.Errorf("memnode: oversized response %d", n))
+			return
+		}
+		var body []byte
+		if n > 0 {
+			body = getBuf(int(n))
+			if _, err := io.ReadFull(br, body); err != nil {
+				PutBuf(body)
+				s.fail(err)
+				return
+			}
+		}
+		s.pmu.Lock()
+		ca, ok := s.pending[id]
+		if !ok {
+			s.pmu.Unlock()
+			if body != nil {
+				PutBuf(body)
+			}
+			// Unknown or duplicate ID: the stream is desynchronized and
+			// nothing on it can be trusted.
+			s.fail(fmt.Errorf("memnode: response for unknown request id %d", id))
+			return
+		}
+		delete(s.pending, id)
+		if len(s.pending) == 0 {
+			// Clear the deadline so an idle connection never times out;
+			// the writer re-arms it with the next request batch. Done
+			// under pmu: a new call inserts itself into pending before
+			// its batch arms the deadline, so this clear can never strip
+			// the deadline from a live request.
+			s.conn.SetReadDeadline(time.Time{})
+		}
+		s.pmu.Unlock()
+		switch status {
+		case statusOK:
+			ca.body = body
+		case statusErrRegion:
+			ca.err = fmt.Errorf("%w: %s", errRegionLost, body)
+			PutBuf(body)
+		default:
+			ca.err = &serverError{msg: string(body)}
+			PutBuf(body)
+		}
+		close(ca.done)
+	}
+}
+
+// execV1 performs one stop-and-wait exchange on a v1 connection. The
+// stream mutex serializes concurrent callers; the rest of the
+// robustness machinery (deadline, poison-on-error) matches v2.
+func (s *stream) execV1(ca *call) ([]byte, error) {
+	s.v1mu.Lock()
+	defer s.v1mu.Unlock()
+	s.pmu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.pmu.Unlock()
+		return nil, err
+	}
+	s.pmu.Unlock()
+	if err := s.conn.SetDeadline(ca.deadline); err != nil {
+		s.fail(err)
+		return nil, err
+	}
+	var hdr [v1ReqHdrLen]byte
+	hdr[0] = ca.op
+	binary.LittleEndian.PutUint64(hdr[1:], ca.srvID)
+	binary.LittleEndian.PutUint64(hdr[9:], uint64(ca.offset))
+	binary.LittleEndian.PutUint64(hdr[17:], uint64(ca.length))
+	iov := append(net.Buffers{hdr[:]}, ca.bufs...)
+	if _, err := iov.WriteTo(s.conn); err != nil {
+		s.fail(err)
+		return nil, err
+	}
+	var rhdr [v1RespHdrLen]byte
+	if _, err := io.ReadFull(s.conn, rhdr[:]); err != nil {
+		s.fail(err)
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(rhdr[1:])
+	if n > MaxIO {
+		err := fmt.Errorf("memnode: oversized response %d", n)
+		s.fail(err)
+		return nil, err
+	}
+	var body []byte
+	if n > 0 {
+		body = getBuf(int(n))
+		if _, err := io.ReadFull(s.conn, body); err != nil {
+			PutBuf(body)
+			s.fail(err)
+			return nil, err
+		}
+	}
+	switch rhdr[0] {
+	case statusOK:
+		return body, nil
+	case statusErrRegion:
+		err := fmt.Errorf("%w: %s", errRegionLost, body)
+		PutBuf(body)
+		return nil, err
+	default:
+		err := &serverError{msg: string(body)}
+		PutBuf(body)
+		return nil, err
+	}
+}
+
 // Client is one connection to a memory node, hardened for the real
-// world: every op has a deadline, a broken connection is re-dialed with
-// capped exponential backoff, and idempotent ops are retried across
-// reconnects — including transparent REGISTER replay when the server
-// restarted and lost its regions. Methods are safe for sequential use;
-// open one client per worker for parallel IO.
+// world and pipelined for throughput: a v2 connection multiplexes up to
+// Options.Window concurrent requests by ID, every op has a deadline, a
+// broken connection fails all in-flight calls at once and is re-dialed
+// with capped exponential backoff, and idempotent ops are retried
+// across reconnects — including transparent REGISTER replay when the
+// server restarted and lost its regions. All methods are safe for
+// concurrent use; issuing many ops concurrently (or via
+// ReadAsync/WriteAsync) is how the pipeline fills.
 type Client struct {
 	addr string
 	opts Options
 
-	mu      sync.Mutex
-	conn    net.Conn // nil when broken; re-dialed on next op
-	hdr     [25]byte
-	regions map[uint64]*region // regions registered BY this client
+	// mu guards connection lifecycle only; it is never held across
+	// network IO, so Close and Metrics stay live behind a stalled op.
+	mu      sync.Mutex //magevet:ok real TCP client connection-lifecycle lock, never held across IO
+	cond    *sync.Cond
+	cur     *stream
+	raw     net.Conn // eagerly dialed, negotiation deferred to first op
+	dialing bool
 	closed  bool
-	dialed  bool // first connect done (later dials count as reconnects)
+	dialed  bool
 
-	stats ClientStats // guarded by mu
+	closedCh chan struct{}
+
+	regMu   sync.Mutex //magevet:ok real TCP client: guards the stable-handle region table
+	regions map[uint64]*region
+
+	// window is the in-flight semaphore: one slot per operation from
+	// submission to completion, across all its retry attempts.
+	window chan struct{}
+
+	retries       atomic.Uint64
+	reconnects    atomic.Uint64
+	regionReplays atomic.Uint64
+	timeouts      atomic.Uint64
+	v1Fallbacks   atomic.Uint64
 }
 
 // Dial connects to a memory node with DefaultOptions.
@@ -116,65 +477,85 @@ func Dial(addr string) (*Client, error) {
 	return DialOptions(addr, DefaultOptions())
 }
 
-// DialOptions connects with explicit robustness options. The initial
-// connection is established eagerly so configuration errors surface
-// here, not on the first op.
+// DialOptions connects with explicit options. The TCP connection is
+// established eagerly so configuration errors surface here, not on the
+// first op; protocol negotiation happens lazily on first use and is
+// retried like any other IO.
 func DialOptions(addr string, opts Options) (*Client, error) {
 	opts.fillDefaults()
 	c := &Client{
-		addr:    addr,
-		opts:    opts,
-		regions: make(map[uint64]*region),
+		addr:     addr,
+		opts:     opts,
+		regions:  make(map[uint64]*region),
+		window:   make(chan struct{}, opts.Window),
+		closedCh: make(chan struct{}),
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.reconnectLocked(); err != nil {
-		return nil, err
+	c.cond = sync.NewCond(&c.mu)
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("memnode: dial: %w", err)
 	}
+	c.raw = conn
+	c.dialed = true
 	return c, nil
 }
 
-// Close closes the connection; in-flight retry loops abort.
+// Close closes the connection. It returns promptly even with ops in
+// flight against a stalled server: pending calls fail with ErrClosed
+// and their retry loops abort.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		return err
+	close(c.closedCh)
+	raw, st := c.raw, c.cur
+	c.raw, c.cur = nil, nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	var err error
+	if raw != nil {
+		err = raw.Close()
 	}
-	return nil
+	if st != nil {
+		st.fail(ErrClosed)
+	}
+	return err
 }
 
-// Metrics returns a snapshot of the robustness counters.
+// Metrics returns a snapshot of the robustness counters. It never
+// touches the data path, so it stays live mid-outage.
 func (c *Client) Metrics() ClientStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return ClientStats{
+		Retries:       c.retries.Load(),
+		Reconnects:    c.reconnects.Load(),
+		RegionReplays: c.regionReplays.Load(),
+		Timeouts:      c.timeouts.Load(),
+		V1Fallbacks:   c.v1Fallbacks.Load(),
+	}
 }
 
-// reconnectLocked (re-)establishes the TCP connection.
-func (c *Client) reconnectLocked() error {
-	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
-	if err != nil {
-		return fmt.Errorf("memnode: dial: %w", err)
+func (c *Client) isClosed() bool {
+	select {
+	case <-c.closedCh:
+		return true
+	default:
+		return false
 	}
-	c.conn = conn
-	if c.dialed {
-		c.stats.Reconnects++
-	}
-	c.dialed = true
-	return nil
 }
 
-// breakLocked marks the connection poisoned — a short read, a protocol
-// violation, or any IO error leaves unknown bytes in flight, so the only
-// safe move is to drop the stream and re-dial before the next attempt.
-func (c *Client) breakLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+// sleep waits d or until the client closes, reporting whether the wait
+// completed.
+func (c *Client) sleep(d time.Duration) bool {
+	t := time.NewTimer(d) //magevet:ok real-world reconnect backoff on a TCP client
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closedCh:
+		return false
 	}
 }
 
@@ -194,45 +575,214 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d
 }
 
-// do runs one idempotent op with the full robustness stack: per-attempt
-// deadlines, reconnect-on-poison, capped backoff between attempts, and
-// lazy REGISTER replay when the server reports the region unknown.
-// handle is the caller's stable region handle (ignored for REGISTER and
-// STAT).
-func (c *Client) do(op byte, handle uint64, offset, length int64, payload []byte) ([]byte, error) {
+// getStream returns the live stream, dialing and negotiating a new
+// connection when the previous one is poisoned. Exactly one goroutine
+// dials at a time; the rest wait on the condition variable, so an
+// outage costs one connection attempt per backoff interval, not one
+// per blocked op.
+func (c *Client) getStream() (*stream, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if c.cur != nil && c.cur.alive() {
+			st := c.cur
+			c.mu.Unlock()
+			return st, nil
+		}
+		if c.dialing {
+			c.cond.Wait()
+			continue
+		}
+		c.dialing = true
+		conn := c.raw
+		c.raw = nil
+		c.mu.Unlock()
+
+		fresh := false
+		var err error
+		if conn == nil {
+			conn, err = net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+			if err != nil {
+				err = fmt.Errorf("memnode: dial: %w", err)
+			}
+			fresh = err == nil
+		}
+		var st *stream
+		if err == nil {
+			st, err = c.negotiate(conn) // closes conn on error
+		}
+
+		c.mu.Lock()
+		c.dialing = false
+		c.cond.Broadcast()
+		if c.closed {
+			c.mu.Unlock()
+			if st != nil {
+				st.fail(ErrClosed)
+			} else if err == nil && conn != nil {
+				conn.Close()
+			}
+			return nil, ErrClosed
+		}
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.cur = st
+		if fresh {
+			c.reconnects.Add(1)
+		}
+		c.mu.Unlock()
+		return st, nil
+	}
+}
+
+// negotiate upgrades a fresh connection to protocol v2, or falls back
+// to v1 when the server rejects the HELLO. On IO error the connection
+// is closed and the error returned; the caller's retry loop re-dials.
+func (c *Client) negotiate(conn net.Conn) (*stream, error) {
+	if c.opts.Protocol == protoV1 {
+		return newStream(c, conn, true), nil
+	}
+	if err := conn.SetDeadline(time.Now().Add(c.opts.IOTimeout)); err != nil { //magevet:ok per-op network deadline
+		conn.Close()
+		return nil, err
+	}
+	var hdr [v1ReqHdrLen]byte
+	hdr[0] = opHello
+	binary.LittleEndian.PutUint64(hdr[1:], helloMagic)
+	binary.LittleEndian.PutUint64(hdr[9:], protoV2)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var rhdr [v1RespHdrLen]byte
+	if _, err := io.ReadFull(conn, rhdr[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(rhdr[1:])
+	if n > 4096 {
+		conn.Close()
+		return nil, fmt.Errorf("memnode: oversized hello response %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if rhdr[0] == statusOK {
+		if len(body) >= helloRespLen &&
+			binary.LittleEndian.Uint64(body) == helloMagic &&
+			binary.LittleEndian.Uint64(body[8:]) >= protoV2 {
+			conn.SetDeadline(time.Time{}) // the stream manages deadlines from here
+			return newStream(c, conn, false), nil
+		}
+		conn.Close()
+		return nil, errors.New("memnode: malformed hello response")
+	}
+	// The server rejected the probe as a bad opcode: it speaks v1 only,
+	// and its connection is still healthy.
+	conn.SetDeadline(time.Time{})
+	c.v1Fallbacks.Add(1)
+	return newStream(c, conn, true), nil
+}
+
+// translate maps a caller's stable handle to the server's current
+// region ID (they diverge after a restart replay).
+func (c *Client) translate(handle uint64) uint64 {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	if reg, ok := c.regions[handle]; ok {
+		return reg.srvID
+	}
+	return handle
+}
+
+func (c *Client) canReplay(handle uint64) bool {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	_, ok := c.regions[handle]
+	return ok
+}
+
+// replayRegion re-registers a handle's region on a restarted server.
+// The region's content is gone with the old server; the paging systems
+// tolerate that the same way they tolerate a fresh remote node — pages
+// fault back in from the new (zeroed) backing. regMu serializes
+// replays so a storm of concurrent region-lost ops registers the
+// region once, not once per op.
+func (c *Client) replayRegion(st *stream, handle, usedSrvID uint64) error {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	reg, ok := c.regions[handle]
+	if !ok {
+		return fmt.Errorf("memnode: unknown region handle %d", handle)
+	}
+	if reg.srvID != usedSrvID {
+		return nil // a concurrent op already replayed this region
+	}
+	ca := &call{op: opRegister, length: reg.size, deadline: time.Now().Add(c.opts.IOTimeout)} //magevet:ok per-op network deadline
+	body, err := st.exec(ca)
+	if err != nil {
+		var se *serverError
+		if errors.As(err, &se) {
+			return se
+		}
+		return err
+	}
+	if len(body) != 8 {
+		return fmt.Errorf("memnode: short register response (%d bytes)", len(body))
+	}
+	reg.srvID = binary.LittleEndian.Uint64(body)
+	PutBuf(body)
+	c.regionReplays.Add(1)
+	return nil
+}
+
+// do runs one idempotent op with the full robustness stack re-layered
+// on top of the pipelined stream: an in-flight window slot for the
+// op's whole lifetime, per-attempt deadlines, reconnect-on-poison with
+// capped backoff, and lazy REGISTER replay when the server reports the
+// region unknown.
+func (c *Client) do(ca *call) ([]byte, error) {
+	select {
+	case c.window <- struct{}{}:
+	case <-c.closedCh:
+		return nil, ErrClosed
+	}
+	defer func() { <-c.window }()
+
 	var lastErr error
 	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
-		if c.closed {
+		if c.isClosed() {
 			return nil, ErrClosed
 		}
 		if attempt > 1 {
-			c.stats.Retries++
-			d := c.backoff(attempt - 1)
-			// Sleep without holding the lock so Close/Metrics stay live.
-			c.mu.Unlock()
-			time.Sleep(d) //magevet:ok real-world reconnect backoff on a TCP client
-			c.mu.Lock()
-			if c.closed {
+			c.retries.Add(1)
+			if !c.sleep(c.backoff(attempt - 1)) {
 				return nil, ErrClosed
 			}
 		}
-		if c.conn == nil {
-			if err := c.reconnectLocked(); err != nil {
-				lastErr = err
-				continue
+		st, err := c.getStream()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, err
 			}
+			lastErr = err
+			continue
 		}
-		// Translate the stable handle to the server's current region ID.
-		// Handles for regions registered by another client pass through
-		// unchanged (region IDs are server-global); only locally
-		// registered regions can be replayed after a restart.
-		srvID := handle
-		if reg, ok := c.regions[handle]; ok {
-			srvID = reg.srvID
-		}
-		body, err := c.doOnce(op, srvID, offset, length, payload)
+		// Each attempt gets its own copy of the call: after a stream is
+		// poisoned its writer may still be draining the old send queue,
+		// so the previous attempt's struct must never be mutated again.
+		// The payload slices are shared read-only.
+		att := *ca
+		att.srvID = c.translate(ca.handle)
+		att.deadline = time.Now().Add(c.opts.IOTimeout) //magevet:ok per-op network deadline
+		body, err := c.execute(st, &att)
 		if err == nil {
 			return body, nil
 		}
@@ -241,111 +791,70 @@ func (c *Client) do(op byte, handle uint64, offset, length int64, payload []byte
 			return nil, se // terminal; connection stays healthy
 		}
 		if errors.Is(err, errRegionLost) {
-			if _, ok := c.regions[handle]; !ok {
+			if !c.canReplay(ca.handle) {
 				// Not a region we registered — a genuinely bad ID, or a
 				// shared region we cannot replay. Terminal either way.
 				return nil, &serverError{msg: err.Error()}
 			}
-			// The server is up but forgot the region: it restarted. Replay
-			// the REGISTER on this handle and retry the op.
-			if rerr := c.replayRegionLocked(handle); rerr != nil {
+			if rerr := c.replayRegion(st, ca.handle, att.srvID); rerr != nil {
 				lastErr = rerr
 				continue
 			}
 			lastErr = err
 			continue
 		}
-		// IO/protocol error: the stream is poisoned.
-		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() {
-			c.stats.Timeouts++
-		}
-		c.breakLocked()
 		lastErr = err
 	}
-	return nil, fmt.Errorf("memnode: op %d failed after %d attempts: %w", op, c.opts.MaxAttempts, lastErr)
+	return nil, fmt.Errorf("memnode: op %d failed after %d attempts: %w", ca.op, c.opts.MaxAttempts, lastErr)
 }
 
-// errRegionLost is doOnce's signal that the server answered
-// statusErrRegion.
-var errRegionLost = errors.New("memnode: server lost region")
+// execute dispatches one attempt, decomposing batch verbs into v1
+// single-page ops when the negotiated stream predates them.
+func (c *Client) execute(st *stream, ca *call) ([]byte, error) {
+	if st.v1 && (ca.op == opReadV || ca.op == opWriteV) {
+		return c.executeBatchV1(st, ca)
+	}
+	return st.exec(ca)
+}
 
-// doOnce performs exactly one request round trip on the live connection.
-func (c *Client) doOnce(op byte, srvID uint64, offset, length int64, payload []byte) ([]byte, error) {
-	deadline := time.Now().Add(c.opts.IOTimeout) //magevet:ok per-op network deadline
-	if err := c.conn.SetDeadline(deadline); err != nil {
-		return nil, err
+// executeBatchV1 emulates READV/WRITEV against a v1 server: the batch
+// becomes a sequence of single-page ops on the stop-and-wait stream.
+// Any failure aborts the attempt; the outer retry loop re-runs the
+// whole (idempotent) batch.
+func (c *Client) executeBatchV1(st *stream, ca *call) ([]byte, error) {
+	if ca.op == opWriteV {
+		for i, v := range ca.iovs {
+			sub := &call{
+				op: opWrite, srvID: ca.srvID, offset: v.off, length: v.length,
+				bufs: net.Buffers{ca.pages[i]}, deadline: time.Now().Add(c.opts.IOTimeout), //magevet:ok per-op network deadline
+			}
+			if _, err := st.exec(sub); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
 	}
-	c.hdr[0] = op
-	binary.LittleEndian.PutUint64(c.hdr[1:], srvID)
-	binary.LittleEndian.PutUint64(c.hdr[9:], uint64(offset))
-	binary.LittleEndian.PutUint64(c.hdr[17:], uint64(length))
-	if _, err := c.conn.Write(c.hdr[:]); err != nil {
-		return nil, err
+	var total int64
+	for _, v := range ca.iovs {
+		total += v.length
 	}
-	if len(payload) > 0 {
-		if _, err := c.conn.Write(payload); err != nil {
+	buf := getBuf(int(total))
+	out := buf
+	for _, v := range ca.iovs {
+		sub := &call{
+			op: opRead, srvID: ca.srvID, offset: v.off, length: v.length,
+			deadline: time.Now().Add(c.opts.IOTimeout), //magevet:ok per-op network deadline
+		}
+		body, err := st.exec(sub)
+		if err != nil {
+			PutBuf(buf)
 			return nil, err
 		}
+		copy(out[:v.length], body)
+		PutBuf(body)
+		out = out[v.length:]
 	}
-	var rhdr [9]byte
-	if _, err := io.ReadFull(c.conn, rhdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint64(rhdr[1:])
-	if n > MaxIO {
-		return nil, fmt.Errorf("memnode: oversized response %d", n)
-	}
-	var body []byte
-	if n > 0 {
-		body = make([]byte, n)
-		if _, err := io.ReadFull(c.conn, body); err != nil {
-			return nil, err
-		}
-	}
-	switch rhdr[0] {
-	case statusOK:
-		return body, nil
-	case statusErrRegion:
-		return nil, fmt.Errorf("%w: %s", errRegionLost, body)
-	default:
-		return nil, &serverError{msg: string(body)}
-	}
-}
-
-// registerLocked sends one REGISTER and returns the server's region ID.
-func (c *Client) registerLocked(size int64) (uint64, error) {
-	body, err := c.doOnce(opRegister, 0, 0, size, nil)
-	if err != nil {
-		return 0, err
-	}
-	if len(body) != 8 {
-		return 0, fmt.Errorf("memnode: short register response (%d bytes)", len(body))
-	}
-	return binary.LittleEndian.Uint64(body), nil
-}
-
-// replayRegionLocked re-registers a handle's region on a restarted
-// server. The region's content is gone with the old server; the paging
-// systems tolerate that the same way they tolerate a fresh remote node —
-// pages fault back in from the new (zeroed) backing.
-func (c *Client) replayRegionLocked(handle uint64) error {
-	reg, ok := c.regions[handle]
-	if !ok {
-		return fmt.Errorf("memnode: unknown region handle %d", handle)
-	}
-	srvID, err := c.registerLocked(reg.size)
-	if err != nil {
-		var se *serverError
-		if errors.As(err, &se) {
-			return se
-		}
-		c.breakLocked()
-		return err
-	}
-	reg.srvID = srvID
-	c.stats.RegionReplays++
-	return nil
+	return buf, nil
 }
 
 // Register sets up a memory region of size bytes and returns a stable
@@ -353,7 +862,7 @@ func (c *Client) replayRegionLocked(handle uint64) error {
 // server restarts — ops that hit a restarted server transparently
 // re-register the region (at its original size, zero-filled) and retry.
 func (c *Client) Register(size int64) (uint64, error) {
-	body, err := c.do(opRegister, 0, 0, size, nil)
+	body, err := c.do(&call{op: opRegister, length: size})
 	if err != nil {
 		return 0, err
 	}
@@ -361,18 +870,29 @@ func (c *Client) Register(size int64) (uint64, error) {
 		return 0, fmt.Errorf("memnode: short register response (%d bytes)", len(body))
 	}
 	id := binary.LittleEndian.Uint64(body)
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	PutBuf(body)
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
 	c.regions[id] = &region{size: size, srvID: id}
 	return id, nil
 }
 
-// Read performs a one-sided read of length bytes at offset.
+// Read performs a one-sided read of length bytes at offset. The
+// returned buffer is the caller's; passing it to PutBuf when done lets
+// the client recycle it.
 func (c *Client) Read(handle uint64, offset, length int64) ([]byte, error) {
 	if length <= 0 || length > MaxIO {
 		return nil, fmt.Errorf("memnode: bad read length %d", length)
 	}
-	return c.do(opRead, handle, offset, length, nil)
+	body, err := c.do(&call{op: opRead, handle: handle, offset: offset, length: length})
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) != length {
+		PutBuf(body)
+		return nil, fmt.Errorf("memnode: short read response (%d of %d bytes)", len(body), length)
+	}
+	return body, nil
 }
 
 // Write performs a one-sided write of data at offset.
@@ -380,25 +900,133 @@ func (c *Client) Write(handle uint64, offset int64, data []byte) error {
 	if len(data) == 0 || len(data) > MaxIO {
 		return fmt.Errorf("memnode: bad write length %d", len(data))
 	}
-	_, err := c.do(opWrite, handle, offset, int64(len(data)), data)
+	_, err := c.do(&call{
+		op: opWrite, handle: handle, offset: offset,
+		length: int64(len(data)), bufs: net.Buffers{data},
+	})
+	return err
+}
+
+// Pending is the future returned by the asynchronous operations.
+type Pending struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// Wait blocks until the operation completes and returns its result.
+// For writes the returned buffer is nil.
+func (p *Pending) Wait() ([]byte, error) {
+	<-p.done
+	return p.body, p.err
+}
+
+// Done returns a channel closed when the operation has completed.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// ReadAsync issues a one-sided read and returns immediately. The
+// request is pipelined onto the shared connection; completion order
+// across ops is whatever the server delivers.
+func (c *Client) ReadAsync(handle uint64, offset, length int64) *Pending {
+	p := &Pending{done: make(chan struct{})}
+	go func() { //magevet:ok async façade on a real TCP client: the future, not goroutine scheduling, orders completion
+		p.body, p.err = c.Read(handle, offset, length)
+		close(p.done)
+	}()
+	return p
+}
+
+// WriteAsync issues a one-sided write and returns immediately.
+func (c *Client) WriteAsync(handle uint64, offset int64, data []byte) *Pending {
+	p := &Pending{done: make(chan struct{})}
+	go func() { //magevet:ok async façade on a real TCP client: the future, not goroutine scheduling, orders completion
+		p.err = c.Write(handle, offset, data)
+		close(p.done)
+	}()
+	return p
+}
+
+// ReadV reads len(offsets) pages of pageBytes each in one wire round
+// trip (the transport analogue of the DES evictor's grouped
+// writebacks). The returned pages alias one contiguous buffer. Against
+// a v1 server the batch transparently decomposes into single reads.
+func (c *Client) ReadV(handle uint64, offsets []int64, pageBytes int64) ([][]byte, error) {
+	if len(offsets) == 0 || len(offsets) > MaxBatchPages {
+		return nil, fmt.Errorf("memnode: bad batch size %d", len(offsets))
+	}
+	if pageBytes <= 0 || pageBytes*int64(len(offsets)) > MaxIO {
+		return nil, fmt.Errorf("memnode: bad batch page size %d", pageBytes)
+	}
+	iovs := make([]iovec, len(offsets))
+	for i, off := range offsets {
+		iovs[i] = iovec{off: off, length: pageBytes}
+	}
+	desc := putIovecs(iovs)
+	body, err := c.do(&call{
+		op: opReadV, handle: handle,
+		length: int64(len(desc)), bufs: net.Buffers{desc}, iovs: iovs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := pageBytes * int64(len(offsets))
+	if int64(len(body)) != total {
+		return nil, fmt.Errorf("memnode: short readv response (%d of %d bytes)", len(body), total)
+	}
+	pages := make([][]byte, len(offsets))
+	for i := range pages {
+		pages[i] = body[int64(i)*pageBytes : int64(i+1)*pageBytes : int64(i+1)*pageBytes]
+	}
+	return pages, nil
+}
+
+// WriteV writes len(pages) pages at the matching offsets in one wire
+// round trip. The batch either fully applies or fails; retries re-send
+// the whole batch, which is safe because page writes are idempotent.
+func (c *Client) WriteV(handle uint64, offsets []int64, pages [][]byte) error {
+	if len(pages) == 0 || len(pages) > MaxBatchPages || len(pages) != len(offsets) {
+		return fmt.Errorf("memnode: bad batch shape (%d offsets, %d pages)", len(offsets), len(pages))
+	}
+	iovs := make([]iovec, len(pages))
+	var total int64
+	for i, pg := range pages {
+		if len(pg) == 0 {
+			return fmt.Errorf("memnode: empty page %d in batch", i)
+		}
+		iovs[i] = iovec{off: offsets[i], length: int64(len(pg))}
+		total += int64(len(pg))
+	}
+	if total > MaxIO {
+		return fmt.Errorf("memnode: batch total %d exceeds MaxIO", total)
+	}
+	desc := putIovecs(iovs)
+	bufs := make(net.Buffers, 0, len(pages)+1)
+	bufs = append(bufs, desc)
+	bufs = append(bufs, pages...)
+	_, err := c.do(&call{
+		op: opWriteV, handle: handle,
+		length: int64(len(desc)) + total, bufs: bufs, iovs: iovs, pages: pages,
+	})
 	return err
 }
 
 // Stat fetches server statistics.
 func (c *Client) Stat() (Stats, error) {
-	body, err := c.do(opStat, 0, 0, 0, nil)
+	body, err := c.do(&call{op: opStat})
 	if err != nil {
 		return Stats{}, err
 	}
 	if len(body) != 48 {
 		return Stats{}, fmt.Errorf("memnode: short stat response (%d bytes)", len(body))
 	}
-	return Stats{
+	st := Stats{
 		Regions:    binary.LittleEndian.Uint64(body[0:]),
 		UsedBytes:  binary.LittleEndian.Uint64(body[8:]),
 		ReadOps:    binary.LittleEndian.Uint64(body[16:]),
 		WriteOps:   binary.LittleEndian.Uint64(body[24:]),
 		BytesRead:  binary.LittleEndian.Uint64(body[32:]),
 		BytesWrite: binary.LittleEndian.Uint64(body[40:]),
-	}, nil
+	}
+	PutBuf(body)
+	return st, nil
 }

@@ -1,0 +1,528 @@
+package memnode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mage/internal/stats"
+)
+
+// stallListener accepts connections, completes the v2 negotiation, then
+// swallows every request without ever responding — the pathological
+// server the Close-mid-flight regression needs.
+func stallListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				hdr := make([]byte, v1ReqHdrLen)
+				if _, err := io.ReadFull(conn, hdr); err != nil {
+					return
+				}
+				var resp [v1RespHdrLen + helloRespLen]byte
+				resp[0] = statusOK
+				binary.LittleEndian.PutUint64(resp[1:], helloRespLen)
+				binary.LittleEndian.PutUint64(resp[v1RespHdrLen:], helloMagic)
+				binary.LittleEndian.PutUint64(resp[v1RespHdrLen+8:], protoV2)
+				if _, err := conn.Write(resp[:]); err != nil {
+					return
+				}
+				io.Copy(io.Discard, conn) // stall: consume requests, answer nothing
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestCloseUnblocksStalledOp is the regression test for the old
+// lock-scope bug: Client.do used to hold c.mu across the blocking
+// round trip, so Close (and Metrics) stalled behind a dead server.
+// The pipelined client keeps the lifecycle lock off the data path.
+func TestCloseUnblocksStalledOp(t *testing.T) {
+	addr := stallListener(t)
+	opts := DefaultOptions()
+	opts.IOTimeout = 30 * time.Second // far longer than the test budget
+	opts.MaxAttempts = 100
+	c, err := DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opErr := make(chan error, 1)
+	go func() {
+		_, err := c.Read(1, 0, 4096)
+		opErr <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the op reach the wire and stall
+
+	// Metrics must not block behind the stalled op.
+	mDone := make(chan struct{})
+	go func() { c.Metrics(); close(mDone) }()
+	select {
+	case <-mDone:
+	case <-time.After(time.Second):
+		t.Fatal("Metrics blocked behind a stalled op")
+	}
+
+	start := time.Now()
+	cDone := make(chan error, 1)
+	go func() { cDone <- c.Close() }()
+	select {
+	case <-cDone:
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("Close took %v with an op in flight", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked behind a stalled op")
+	}
+	select {
+	case err := <-opErr:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("stalled op returned %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight op never returned after Close")
+	}
+}
+
+// TestServerChaosDeepPipeline kills and restarts the server under 256
+// in-flight operations. Every future must resolve — either success or
+// a terminal error, never a hang — and after the dust settles the
+// replayed region must hold exactly what a fresh round of writes puts
+// there (idempotent replay, no duplicate-apply artifacts).
+func TestServerChaosDeepPipeline(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	opts := fastOpts()
+	opts.Window = 256
+	c, err := DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id, err := c.Register(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inflight = 256
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = 0xAB
+	}
+	pend := make([]*Pending, 0, inflight)
+	// Disjoint pages: writes on pages [0,128), reads on pages [128,256).
+	for i := 0; i < inflight/2; i++ {
+		pend = append(pend, c.WriteAsync(id, int64(i)*4096, page))
+		pend = append(pend, c.ReadAsync(id, int64(128+i)*4096, 4096))
+	}
+
+	// Kill the server mid-pipeline, then bring it back on the same port.
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	var srv2 *Server
+	for {
+		srv2, err = NewServer(addr, 256<<20)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not restart server on %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer srv2.Close()
+
+	// Every future must resolve within the retry budget.
+	timeout := time.After(30 * time.Second)
+	for i, p := range pend {
+		select {
+		case <-p.Done():
+			if body, err := p.Wait(); err == nil && body != nil {
+				PutBuf(body)
+			}
+		case <-timeout:
+			t.Fatalf("op %d/%d still hanging after server restart", i, len(pend))
+		}
+	}
+
+	// The client must have ridden out the restart transparently.
+	m := c.Metrics()
+	if m.Reconnects == 0 {
+		t.Error("expected reconnects across the restart")
+	}
+	if m.RegionReplays == 0 {
+		t.Error("expected a REGISTER replay after the restart")
+	}
+
+	// Post-restart the handle must be fully usable: write and verify
+	// every page the pipeline touched.
+	want := make([]byte, 4096)
+	for i := 0; i < inflight; i++ {
+		for j := range want {
+			want[j] = byte(i + j)
+		}
+		if err := c.Write(id, int64(i)*4096, want); err != nil {
+			t.Fatalf("post-restart write %d: %v", i, err)
+		}
+		got, err := c.Read(id, int64(i)*4096, 4096)
+		if err != nil {
+			t.Fatalf("post-restart read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("post-restart page %d corrupted", i)
+		}
+		PutBuf(got)
+	}
+}
+
+// TestProtocolNegotiation proves both interop directions: a v1-pinned
+// client against a v2 server, and a v2 client against a v1-only server
+// (which must transparently fall back).
+func TestProtocolNegotiation(t *testing.T) {
+	t.Run("v1ClientV2Server", func(t *testing.T) {
+		srv, err := NewServer("127.0.0.1:0", 16<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		opts := DefaultOptions()
+		opts.Protocol = protoV1
+		c, err := DialOptions(srv.Addr(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		roundtrip(t, c)
+		if f := c.Metrics().V1Fallbacks; f != 0 {
+			t.Errorf("pinned-v1 client counted %d fallbacks", f)
+		}
+	})
+	t.Run("v2ClientV1Server", func(t *testing.T) {
+		srv, err := NewServerOptions("127.0.0.1:0", 16<<20, ServerOptions{MaxProtocol: protoV1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		roundtrip(t, c)
+		if f := c.Metrics().V1Fallbacks; f == 0 {
+			t.Error("v2 client against v1 server recorded no fallback")
+		}
+	})
+	t.Run("v2Both", func(t *testing.T) {
+		srv, err := NewServer("127.0.0.1:0", 16<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		roundtrip(t, c)
+		if f := c.Metrics().V1Fallbacks; f != 0 {
+			t.Errorf("v2<->v2 counted %d fallbacks", f)
+		}
+	})
+}
+
+func roundtrip(t *testing.T, c *Client) {
+	t.Helper()
+	id, err := c.Register(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("negotiated payload")
+	if err := c.Write(id, 512, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(id, 512, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("roundtrip mismatch")
+	}
+	PutBuf(got)
+}
+
+// TestBatchVerbs exercises READV/WRITEV end to end, including a batch
+// that straddles a chunk boundary.
+func TestBatchVerbs(t *testing.T) {
+	_, c := newPair(t, 32<<20)
+	id, err := c.Register(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	offsets := []int64{
+		0,
+		4096,
+		ChunkBytes - 2048, // straddles the chunk boundary
+		ChunkBytes + 4096,
+		6 << 20,
+	}
+	pages := make([][]byte, len(offsets))
+	for i := range pages {
+		pages[i] = make([]byte, 4096)
+		rng.Read(pages[i])
+	}
+	if err := c.WriteV(id, offsets, pages); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadV(id, offsets, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], pages[i]) {
+			t.Errorf("batch page %d mismatch", i)
+		}
+	}
+	PutBuf(got[0][:0:cap(got[0])])
+	// Single-page reads must agree with the batch view.
+	single, err := c.Read(id, offsets[2], 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(single, pages[2]) {
+		t.Error("single read disagrees with batched write")
+	}
+	PutBuf(single)
+}
+
+// TestBatchAtomicRejection: one bad descriptor fails the whole batch
+// with zero partial effects.
+func TestBatchAtomicRejection(t *testing.T) {
+	_, c := newPair(t, 16<<20)
+	id, err := c.Register(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := [][]byte{
+		bytes.Repeat([]byte{1}, 4096),
+		bytes.Repeat([]byte{2}, 4096),
+	}
+	// Second descriptor lands past the region end.
+	err = c.WriteV(id, []int64{0, 1<<20 - 100}, pages)
+	if err == nil {
+		t.Fatal("out-of-bounds batch accepted")
+	}
+	got, err := c.Read(id, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("rejected batch left partial effects")
+		}
+	}
+	PutBuf(got)
+}
+
+// TestBatchAgainstV1Server: the batch APIs must transparently decompose
+// into single-page ops when negotiation lands on v1.
+func TestBatchAgainstV1Server(t *testing.T) {
+	srv, err := NewServerOptions("127.0.0.1:0", 16<<20, ServerOptions{MaxProtocol: protoV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id, err := c.Register(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := []int64{0, 8192, ChunkBytes - 2048}
+	pages := make([][]byte, len(offsets))
+	for i := range pages {
+		pages[i] = bytes.Repeat([]byte{byte(i + 1)}, 4096)
+	}
+	if err := c.WriteV(id, offsets, pages); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadV(id, offsets, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], pages[i]) {
+			t.Errorf("v1-decomposed batch page %d mismatch", i)
+		}
+	}
+	if c.Metrics().V1Fallbacks == 0 {
+		t.Error("expected a v1 fallback against the pinned server")
+	}
+}
+
+// TestBatchValidation covers the client-side batch shape checks.
+func TestBatchValidation(t *testing.T) {
+	_, c := newPair(t, 16<<20)
+	id, _ := c.Register(1 << 20)
+	if _, err := c.ReadV(id, nil, 4096); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := c.ReadV(id, make([]int64, MaxBatchPages+1), 4096); err == nil {
+		t.Error("oversized batch accepted")
+	}
+	if err := c.WriteV(id, []int64{0, 4096}, [][]byte{make([]byte, 4096)}); err == nil {
+		t.Error("mismatched offsets/pages accepted")
+	}
+	if err := c.WriteV(id, []int64{0}, [][]byte{nil}); err == nil {
+		t.Error("empty page accepted")
+	}
+}
+
+// TestAsyncPipeline issues a deep burst of async writes then reads and
+// verifies every page — the bread-and-butter pipelined workload.
+func TestAsyncPipeline(t *testing.T) {
+	_, c := newPair(t, 64<<20)
+	id, err := c.Register(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	writes := make([]*Pending, n)
+	for i := 0; i < n; i++ {
+		pg := bytes.Repeat([]byte{byte(i)}, 4096)
+		writes[i] = c.WriteAsync(id, int64(i)*4096, pg)
+	}
+	for i, p := range writes {
+		if _, err := p.Wait(); err != nil {
+			t.Fatalf("async write %d: %v", i, err)
+		}
+	}
+	reads := make([]*Pending, n)
+	for i := 0; i < n; i++ {
+		reads[i] = c.ReadAsync(id, int64(i)*4096, 4096)
+	}
+	for i, p := range reads {
+		body, err := p.Wait()
+		if err != nil {
+			t.Fatalf("async read %d: %v", i, err)
+		}
+		want := bytes.Repeat([]byte{byte(i)}, 4096)
+		if !bytes.Equal(body, want) {
+			t.Fatalf("async read %d mismatch", i)
+		}
+		PutBuf(body)
+	}
+}
+
+// BenchmarkServerRoundtrip pins allocs/op on the single-page write+read
+// path (pooled request/response buffers, single-writev responses).
+func BenchmarkServerRoundtrip(b *testing.B) {
+	srv, err := NewServer("127.0.0.1:0", 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	id, _ := c.Register(32 << 20)
+	page := make([]byte, 4096)
+	b.SetBytes(8192) // one write + one read per iteration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%4096) * 4096
+		if err := c.Write(id, off, page); err != nil {
+			b.Fatal(err)
+		}
+		body, err := c.Read(id, off, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		PutBuf(body)
+	}
+}
+
+// BenchmarkMemnodePipeline measures single-connection throughput with
+// 32 requests in flight — the configuration the ISSUE's ≥5x target is
+// stated against (cmd/memnode-bench reports the same workload with the
+// full percentile spread). 32 persistent lanes issue synchronous reads
+// that the client multiplexes onto one pipelined stream; per-lane
+// latency histograms merge into the reported p99. benchsnap -require
+// pins both pages/s and p99-us in BENCH_*.json snapshots.
+func BenchmarkMemnodePipeline(b *testing.B) {
+	srv, err := NewServer("127.0.0.1:0", 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	id, _ := c.Register(32 << 20)
+	const depth = 32
+	lat := stats.NewConcurrentHistogram()
+	var next atomic.Int64
+	var fails atomic.Uint64
+	var wg sync.WaitGroup
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for d := 0; d < depth; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := stats.NewHistogram()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) {
+					break
+				}
+				t0 := time.Now()
+				body, err := c.Read(id, (i%8192)*4096, 4096)
+				if err != nil {
+					fails.Add(1)
+					continue
+				}
+				PutBuf(body)
+				h.Record(time.Since(t0).Nanoseconds())
+			}
+			lat.Merge(h)
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if n := fails.Load(); n > 0 {
+		b.Fatalf("%d pipelined reads failed", n)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pages/s")
+	b.ReportMetric(float64(lat.Snapshot().P99())/1e3, "p99-us")
+}

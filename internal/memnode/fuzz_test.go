@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"testing"
+	"time"
 )
 
 // fuzzServer builds a listener-less Server with one pre-registered
@@ -18,6 +19,11 @@ func fuzzServer() *Server {
 		used:     4 << 20,
 		conns:    make(map[net.Conn]struct{}),
 	}
+	// One worker: mutated inputs can put overlapping concurrent WRITEs on
+	// the wire, which race by design (RDMA semantics); the fuzz target is
+	// the frame decoder, so serialize execution to stay -race clean.
+	s.opts.fillDefaults()
+	s.opts.Workers = 1
 	s.regions[1] = [][]byte{make([]byte, ChunkBytes), make([]byte, ChunkBytes)}
 	s.sizes[1] = 4 << 20
 	return s
@@ -30,6 +36,45 @@ func frame(op byte, regionID uint64, offset, length int64, payload []byte) []byt
 	binary.LittleEndian.PutUint64(buf[9:], uint64(offset))
 	binary.LittleEndian.PutUint64(buf[17:], uint64(length))
 	copy(buf[25:], payload)
+	return buf
+}
+
+// helloFrame is the negotiation probe that upgrades a connection to v2.
+func helloFrame() []byte {
+	return frame(opHello, helloMagic, protoV2, 0, nil)
+}
+
+// v2frame builds one v2 request frame.
+func v2frame(op byte, id, regionID uint64, offset, length int64, payload []byte) []byte {
+	buf := make([]byte, v2ReqHdrLen+len(payload))
+	buf[0] = op
+	binary.LittleEndian.PutUint64(buf[1:], id)
+	binary.LittleEndian.PutUint64(buf[9:], regionID)
+	binary.LittleEndian.PutUint64(buf[17:], uint64(offset))
+	binary.LittleEndian.PutUint64(buf[25:], uint64(length))
+	copy(buf[v2ReqHdrLen:], payload)
+	return buf
+}
+
+// v2stream prefixes frames with the HELLO so the server's decoder runs
+// them through the v2 path.
+func v2stream(frames ...[]byte) []byte {
+	out := helloFrame()
+	for _, f := range frames {
+		out = append(out, f...)
+	}
+	return out
+}
+
+// descs encodes a batch descriptor table (count + offset/length pairs).
+func descs(pairs ...int64) []byte {
+	n := len(pairs) / 2
+	buf := make([]byte, 8+16*n)
+	binary.LittleEndian.PutUint64(buf, uint64(n))
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[8+16*i:], uint64(pairs[2*i]))
+		binary.LittleEndian.PutUint64(buf[16+16*i:], uint64(pairs[2*i+1]))
+	}
 	return buf
 }
 
@@ -53,6 +98,39 @@ func FuzzServeRequest(f *testing.F) {
 	f.Add(append(frame(opWrite, 1, 0, 64, nil), "short"...))                      // truncated payload
 	f.Add(append(frame(opStat, 0, 0, 0, nil), frame(opRead, 1, 0, 4096, nil)...)) // pipelined
 
+	// v2 seeds: negotiation plus pipelined/batched/hostile v2 frames.
+	// Concurrent seeds deliberately avoid overlapping WRITE ranges — the
+	// worker pool executes them in parallel and overlapping writes race
+	// by design (as one-sided RDMA would).
+	f.Add(helloFrame())                                  // bare negotiation
+	f.Add(frame(opHello, helloMagic, protoV1, 0, nil))   // stale version: stays v1
+	f.Add(frame(opHello, 0xDEAD_BEEF, protoV2, 0, nil))  // bad magic: stays v1
+	f.Add(v2stream(v2frame(opRead, 1, 1, 0, 4096, nil))) // valid v2 read
+	f.Add(v2stream(v2frame(opStat, 2, 0, 0, 0, nil)))    // valid v2 stat
+	f.Add(v2stream(v2frame(opRegister, 3, 0, 0, 1<<20, nil)))
+	f.Add(v2stream(v2frame(opWrite, 4, 1, 0, 8, []byte("pagedata"))))
+	f.Add(v2stream( // interleaved ids, disjoint pages
+		v2frame(opWrite, 5, 1, 0, 8, []byte("pagedata")),
+		v2frame(opRead, 7, 1, 8192, 4096, nil),
+		v2frame(opWrite, 6, 1, 4096, 8, []byte("pagedata")),
+	))
+	f.Add(v2stream(v2frame(opReadV, 8, 1, 0, 40, descs(0, 4096, 8192, 4096)))) // valid batch read
+	d := descs(0, 4096)
+	f.Add(v2stream(v2frame(opWriteV, 9, 1, 0, int64(len(d))+4096, append(d, make([]byte, 4096)...)))) // valid batch write
+	f.Add(v2stream(v2frame(opReadV, 10, 1, 0, 40, descs(0, 4096, 1<<40, 4096))))                      // out-of-bounds descriptor
+	f.Add(v2stream(v2frame(opReadV, 11, 1, 0, 40, descs(0, MaxIO+1))))                                // oversized descriptor
+	f.Add(v2stream(v2frame(opReadV, 12, 1, 0, 24, descs(0, 4096)[:24])))                              // truncated descriptors
+	bigCount := make([]byte, 16)
+	binary.LittleEndian.PutUint64(bigCount, 1<<40) // absurd batch count
+	f.Add(v2stream(v2frame(opReadV, 13, 1, 0, 16, bigCount)))
+	f.Add(v2stream(v2frame(opWriteV, 14, 1, 0, int64(len(d)), d)))        // descriptors but no data
+	f.Add(v2stream(v2frame(opWrite, 15, 1, 0, maxV2Payload+1, nil)))      // framing violation: kills conn
+	f.Add(v2stream(v2frame(opWrite, 16, 1, 0, -1, nil)))                  // negative payload length
+	f.Add(v2stream(v2frame(0xEE, 17, 0, 0, 0, nil)))                      // bad v2 opcode
+	f.Add(v2stream(v2frame(opRead, 18, 1, 0, 4096, nil)[:v2ReqHdrLen-3])) // truncated v2 header
+	f.Add(v2stream(v2frame(opRead, 19, 999, 0, 4096, nil)))               // unknown region via v2
+	f.Add(v2stream(v2frame(opHello, 20, helloMagic, protoV2, 0, nil)))    // HELLO inside v2: bad opcode
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := fuzzServer()
 		srvConn, cliConn := net.Pipe()
@@ -67,5 +145,108 @@ func FuzzServeRequest(f *testing.F) {
 		cliConn.Write(data)
 		cliConn.Close()
 		<-done
+	})
+}
+
+// v2resp builds one v2 response frame as a hostile server would emit it.
+func v2respFrame(status byte, id uint64, payload []byte) []byte {
+	buf := make([]byte, v2RespHdrLen+len(payload))
+	buf[0] = status
+	binary.LittleEndian.PutUint64(buf[1:], id)
+	binary.LittleEndian.PutUint64(buf[9:], uint64(len(payload)))
+	copy(buf[v2RespHdrLen:], payload)
+	return buf
+}
+
+// FuzzClientDemux points a real pipelined client at a fake server that
+// negotiates v2 and then replays arbitrary bytes as the response
+// stream. The demux must never panic, never deliver a frame to the
+// wrong call, and must resolve every pending op (success or error)
+// even when the stream is garbage — duplicate IDs, unknown IDs,
+// truncated or oversized frames all poison the stream, which fails all
+// pending calls and surfaces a terminal error through the retry layer.
+func FuzzClientDemux(f *testing.F) {
+	page := make([]byte, 4096)
+	// Clean completions for the three reads the harness issues (ids 1-3).
+	f.Add(append(append(v2respFrame(statusOK, 1, page), v2respFrame(statusOK, 2, page)...), v2respFrame(statusOK, 3, page)...))
+	// Out-of-order completion.
+	f.Add(append(append(v2respFrame(statusOK, 3, page), v2respFrame(statusOK, 1, page)...), v2respFrame(statusOK, 2, page)...))
+	// Unknown ID.
+	f.Add(v2respFrame(statusOK, 999, page))
+	// Duplicate ID.
+	f.Add(append(v2respFrame(statusOK, 1, page), v2respFrame(statusOK, 1, page)...))
+	// Error statuses.
+	f.Add(v2respFrame(statusErr, 1, []byte("boom")))
+	f.Add(v2respFrame(statusErrRegion, 2, []byte("unknown region")))
+	// Truncated header / truncated payload / oversized length.
+	f.Add(v2respFrame(statusOK, 1, page)[:5])
+	f.Add(v2respFrame(statusOK, 1, page)[:v2RespHdrLen+100])
+	huge := v2respFrame(statusOK, 1, nil)
+	binary.LittleEndian.PutUint64(huge[9:], maxV2Payload+1)
+	f.Add(huge)
+	// Interleaved valid and garbage.
+	f.Add(append(v2respFrame(statusOK, 2, page), 0xFF, 0x00, 0xAB))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Skip(err)
+		}
+		defer ln.Close()
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					defer conn.Close()
+					hdr := make([]byte, v1ReqHdrLen)
+					if _, err := io.ReadFull(conn, hdr); err != nil {
+						return
+					}
+					resp := make([]byte, v1RespHdrLen+helloRespLen)
+					resp[0] = statusOK
+					binary.LittleEndian.PutUint64(resp[1:], helloRespLen)
+					binary.LittleEndian.PutUint64(resp[v1RespHdrLen:], helloMagic)
+					binary.LittleEndian.PutUint64(resp[v1RespHdrLen+8:], protoV2)
+					if _, err := conn.Write(resp); err != nil {
+						return
+					}
+					// Replay the fuzz bytes as the response stream, then
+					// hang up so pending calls fail fast.
+					conn.Write(data)
+				}()
+			}
+		}()
+
+		opts := DefaultOptions()
+		opts.IOTimeout = 200 * time.Millisecond
+		opts.MaxAttempts = 2
+		opts.BaseBackoff = time.Millisecond
+		opts.MaxBackoff = 2 * time.Millisecond
+		c, err := DialOptions(ln.Addr().String(), opts)
+		if err != nil {
+			t.Skip(err)
+		}
+		defer c.Close()
+		pend := []*Pending{
+			c.ReadAsync(1, 0, 4096),
+			c.ReadAsync(1, 4096, 4096),
+			c.ReadAsync(1, 8192, 4096),
+		}
+		for _, p := range pend {
+			select {
+			case <-p.Done():
+				if body, err := p.Wait(); err == nil {
+					if len(body) != 4096 {
+						t.Fatalf("demux delivered %d bytes for a 4096-byte read", len(body))
+					}
+					PutBuf(body)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("pending op hung on a hostile response stream")
+			}
+		}
 	})
 }

@@ -6,27 +6,39 @@
 // is registered with an RDMA NIC; here the transport is TCP (the only
 // fabric available to a pure-Go artifact), but the protocol mirrors the
 // verbs the paging systems need: REGISTER (memory-region setup), READ and
-// WRITE at arbitrary offsets, and STAT for monitoring. Region storage is
-// allocated in 2 MiB chunks, mirroring the HugeTLB backing the paper uses
-// to keep page-table walks cheap on the memory node.
+// WRITE at arbitrary offsets, batched READV/WRITEV, and STAT for
+// monitoring. Region storage is allocated in 2 MiB chunks, mirroring the
+// HugeTLB backing the paper uses to keep page-table walks cheap on the
+// memory node.
 //
-// The wire protocol is length-prefixed binary, little-endian:
+// Two wire protocols are spoken, negotiated per connection (frame.go):
+//
+// v1, length-prefixed binary, little-endian, strict stop-and-wait:
 //
 //	request:  op(1) regionID(8) offset(8) length(8) payload(length, WRITE only)
 //	response: status(1) length(8) payload(length)
+//
+// v2 adds a request ID to every frame so one connection multiplexes many
+// outstanding operations; see frame.go for the layout and the batch-verb
+// payload format. Server-side, a v2 connection demuxes requests into a
+// bounded per-connection worker pool and serializes responses through a
+// single writev-based writer, so deep client pipelines actually overlap
+// region copies with wire IO.
 package memnode
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"        //magevet:ok memnode is a real TCP daemon, not virtual-time simulation code
 	"sync/atomic" //magevet:ok memnode is a real TCP daemon, not virtual-time simulation code
 )
 
-// Opcodes.
+// Opcodes shared by v1 and v2 (batch opcodes live in frame.go).
 const (
 	opRegister = 1
 	opRead     = 2
@@ -50,12 +62,36 @@ const (
 // ChunkBytes is the backing allocation granularity (a 2 MiB huge page).
 const ChunkBytes = 2 << 20
 
-// MaxIO bounds a single READ/WRITE payload.
+// MaxIO bounds a single READ/WRITE payload and the total data moved by
+// one READV/WRITEV batch.
 const MaxIO = 8 << 20
+
+// ServerOptions tunes protocol support and per-connection concurrency.
+type ServerOptions struct {
+	// MaxProtocol caps the negotiated wire protocol: protoV2 (the
+	// default) accepts both v1 and v2 clients; protoV1 refuses the v2
+	// HELLO, turning the server into a legacy node (used by the
+	// negotiation tests and the -proto flag of cmd/memnode).
+	MaxProtocol int
+	// Workers is the per-connection worker pool size for v2
+	// connections: how many requests from one pipelined client may be
+	// executed concurrently. Default 8.
+	Workers int
+}
+
+func (o *ServerOptions) fillDefaults() {
+	if o.MaxProtocol <= 0 || o.MaxProtocol > protoV2 {
+		o.MaxProtocol = protoV2
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+}
 
 // Server is the far-memory node daemon.
 type Server struct {
 	ln       net.Listener
+	opts     ServerOptions
 	mu       sync.Mutex
 	regions  map[uint64][][]byte // regionID -> chunks
 	sizes    map[uint64]int64
@@ -78,17 +114,25 @@ type Server struct {
 }
 
 // NewServer listens on addr (e.g. "127.0.0.1:0") with a total capacity in
-// bytes.
+// bytes and default options.
 func NewServer(addr string, capacity int64) (*Server, error) {
+	return NewServerOptions(addr, capacity, ServerOptions{})
+}
+
+// NewServerOptions listens on addr with explicit protocol/concurrency
+// options.
+func NewServerOptions(addr string, capacity int64, opts ServerOptions) (*Server, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("memnode: invalid capacity %d", capacity)
 	}
+	opts.fillDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("memnode: listen: %w", err)
 	}
 	s := &Server{
 		ln:       ln,
+		opts:     opts,
 		regions:  make(map[uint64][][]byte),
 		sizes:    make(map[uint64]int64),
 		nextID:   1,
@@ -147,10 +191,15 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// serve runs the v1 stop-and-wait loop. A HELLO request upgrades the
+// connection to v2 framing (serveV2) when the server allows it; any
+// other traffic is served as v1 forever, so legacy clients never notice
+// the server understands more.
 func (s *Server) serve(conn net.Conn) {
-	hdr := make([]byte, 25)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	hdr := make([]byte, v1ReqHdrLen)
 	for {
-		if _, err := io.ReadFull(conn, hdr); err != nil {
+		if _, err := io.ReadFull(br, hdr); err != nil {
 			return
 		}
 		op := hdr[0]
@@ -160,12 +209,28 @@ func (s *Server) serve(conn net.Conn) {
 
 		var err error
 		switch op {
+		case opHello:
+			// regionID carries the magic, offset the client's max version.
+			if s.opts.MaxProtocol >= protoV2 && regionID == helloMagic && offset >= protoV2 {
+				var resp [helloRespLen]byte
+				binary.LittleEndian.PutUint64(resp[0:], helloMagic)
+				binary.LittleEndian.PutUint64(resp[8:], protoV2)
+				if err := respond(conn, resp[:]); err != nil {
+					return
+				}
+				s.serveV2(conn, br)
+				return
+			}
+			// A v1-only server (or a garbled probe) rejects the HELLO the
+			// same way it rejects any unknown opcode; the connection stays
+			// healthy and the client falls back to v1.
+			err = respondErr(conn, fmt.Sprintf("bad opcode %d", op))
 		case opRegister:
 			err = s.handleRegister(conn, length)
 		case opRead:
 			err = s.handleRead(conn, regionID, offset, length)
 		case opWrite:
-			err = s.handleWrite(conn, regionID, offset, length)
+			err = s.handleWrite(conn, br, regionID, offset, length)
 		case opStat:
 			err = s.handleStat(conn)
 		default:
@@ -177,18 +242,24 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
+// writeFrames writes a header and optional payload as one writev, so a
+// response never costs two syscalls (or two TCP segments under
+// TCP_NODELAY) the way the old header-then-payload pair of Writes did.
+func writeFrames(conn net.Conn, hdr, payload []byte) error {
+	if len(payload) == 0 {
+		_, err := conn.Write(hdr)
+		return err
+	}
+	bufs := net.Buffers{hdr, payload}
+	_, err := bufs.WriteTo(conn)
+	return err
+}
+
 func respond(conn net.Conn, payload []byte) error {
-	hdr := make([]byte, 9)
+	var hdr [v1RespHdrLen]byte
 	hdr[0] = statusOK
 	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(payload)))
-	if _, err := conn.Write(hdr); err != nil {
-		return err
-	}
-	if len(payload) > 0 {
-		_, err := conn.Write(payload)
-		return err
-	}
-	return nil
+	return writeFrames(conn, hdr[:], payload)
 }
 
 func respondErr(conn net.Conn, msg string) error {
@@ -196,31 +267,29 @@ func respondErr(conn net.Conn, msg string) error {
 }
 
 func respondErrCode(conn net.Conn, code byte, msg string) error {
-	hdr := make([]byte, 9)
+	var hdr [v1RespHdrLen]byte
 	hdr[0] = code
 	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(msg)))
-	if _, err := conn.Write(hdr); err != nil {
-		return err
-	}
-	_, err := conn.Write([]byte(msg))
-	return err
+	return writeFrames(conn, hdr[:], []byte(msg))
 }
 
 // errUnknownRegion marks lookups of region IDs the server has never
 // issued (or lost in a restart); it maps to statusErrRegion on the wire.
 var errUnknownRegion = errors.New("unknown region")
 
-func (s *Server) handleRegister(conn net.Conn, size int64) error {
+// doRegister allocates a region and returns its ID payload, or a status
+// code and message. Shared by the v1 and v2 paths.
+func (s *Server) doRegister(size int64) ([]byte, byte, string) {
 	// Bounds-check before any allocation: size is attacker-controlled
 	// wire input, and size > capacity also rules out the used+size
 	// overflow a huge value could otherwise trigger.
 	if size <= 0 || size > s.capacity {
-		return respondErr(conn, fmt.Sprintf("register: bad size %d (capacity %d)", size, s.capacity))
+		return nil, statusErr, fmt.Sprintf("register: bad size %d (capacity %d)", size, s.capacity)
 	}
 	s.mu.Lock()
 	if s.used+size > s.capacity {
 		s.mu.Unlock()
-		return respondErr(conn, "register: capacity exhausted")
+		return nil, statusErr, "register: capacity exhausted"
 	}
 	id := s.nextID
 	s.nextID++
@@ -236,7 +305,15 @@ func (s *Server) handleRegister(conn net.Conn, size int64) error {
 
 	resp := make([]byte, 8)
 	binary.LittleEndian.PutUint64(resp, id)
-	return respond(conn, resp)
+	return resp, statusOK, ""
+}
+
+func (s *Server) handleRegister(conn net.Conn, size int64) error {
+	body, code, msg := s.doRegister(size)
+	if code != statusOK {
+		return respondErrCode(conn, code, msg)
+	}
+	return respond(conn, body)
 }
 
 // regionAt validates and returns the chunk list for an IO.
@@ -252,6 +329,25 @@ func (s *Server) regionAt(regionID uint64, offset, length int64) ([][]byte, erro
 	}
 	if offset < 0 || offset+length > s.sizes[regionID] {
 		return nil, fmt.Errorf("out of bounds [%d,%d) in %d", offset, offset+length, s.sizes[regionID])
+	}
+	return chunks, nil
+}
+
+// regionForBatch validates every descriptor of a batch against the
+// region under one lock acquisition. The batch either fully validates
+// or fails without side effects.
+func (s *Server) regionForBatch(regionID uint64, iovs []iovec) ([][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chunks, ok := s.regions[regionID]
+	if !ok {
+		return nil, fmt.Errorf("%w %d", errUnknownRegion, regionID)
+	}
+	size := s.sizes[regionID]
+	for i, v := range iovs {
+		if v.off < 0 || v.off+v.length > size {
+			return nil, fmt.Errorf("batch desc %d out of bounds [%d,%d) in %d", i, v.off, v.off+v.length, size)
+		}
 	}
 	return chunks, nil
 }
@@ -282,34 +378,84 @@ func chunkedCopy(chunks [][]byte, offset int64, buf []byte, toRegion bool) {
 	}
 }
 
-func (s *Server) handleRead(conn net.Conn, regionID uint64, offset, length int64) error {
+// doRead copies length bytes out of a region into a pooled buffer. The
+// caller owns the buffer and must PutBuf it after the response is on
+// the wire.
+func (s *Server) doRead(regionID uint64, offset, length int64) ([]byte, byte, string) {
 	chunks, err := s.regionAt(regionID, offset, length)
 	if err != nil {
-		return respondErrCode(conn, errStatus(err), err.Error())
+		return nil, errStatus(err), err.Error()
 	}
-	buf := make([]byte, length)
+	buf := getBuf(int(length))
 	chunkedCopy(chunks, offset, buf, false)
 	s.ReadOps.Add(1)
 	s.BytesRead.Add(uint64(length))
-	return respond(conn, buf)
+	return buf, statusOK, ""
 }
 
-func (s *Server) handleWrite(conn net.Conn, regionID uint64, offset, length int64) error {
+func (s *Server) handleRead(conn net.Conn, regionID uint64, offset, length int64) error {
+	body, code, msg := s.doRead(regionID, offset, length)
+	if code != statusOK {
+		return respondErrCode(conn, code, msg)
+	}
+	err := respond(conn, body)
+	PutBuf(body)
+	return err
+}
+
+// doWrite applies one write whose payload has already been read off the
+// wire.
+func (s *Server) doWrite(regionID uint64, offset int64, data []byte) (byte, string) {
+	chunks, err := s.regionAt(regionID, offset, int64(len(data)))
+	if err != nil {
+		return errStatus(err), err.Error()
+	}
+	chunkedCopy(chunks, offset, data, true)
+	s.WriteOps.Add(1)
+	s.BytesWrite.Add(uint64(len(data)))
+	return statusOK, ""
+}
+
+func (s *Server) handleWrite(conn net.Conn, br *bufio.Reader, regionID uint64, offset, length int64) error {
 	if length <= 0 || length > MaxIO {
 		return respondErr(conn, fmt.Sprintf("bad length %d", length))
 	}
-	buf := make([]byte, length)
-	if _, err := io.ReadFull(conn, buf); err != nil {
+	buf := getBuf(int(length))
+	if _, err := io.ReadFull(br, buf); err != nil {
+		PutBuf(buf)
 		return err
 	}
-	chunks, err := s.regionAt(regionID, offset, length)
-	if err != nil {
-		return respondErrCode(conn, errStatus(err), err.Error())
+	code, msg := s.doWrite(regionID, offset, buf)
+	PutBuf(buf)
+	if code != statusOK {
+		return respondErrCode(conn, code, msg)
 	}
-	chunkedCopy(chunks, offset, buf, true)
-	s.WriteOps.Add(1)
-	s.BytesWrite.Add(uint64(length))
 	return respond(conn, nil)
+}
+
+// doWriteV applies a batched write: payload is the descriptor table
+// followed by the concatenated data. Every descriptor is validated
+// before any byte lands, so a bad batch has no partial effects.
+func (s *Server) doWriteV(regionID uint64, payload []byte) (byte, string) {
+	iovs, consumed, total, err := parseIovecs(payload)
+	if err != nil {
+		return statusErr, err.Error()
+	}
+	data := payload[consumed:]
+	if int64(len(data)) != total {
+		return statusErr, fmt.Sprintf("writev: descriptors cover %d bytes, payload carries %d", total, len(data))
+	}
+	chunks, err := s.regionForBatch(regionID, iovs)
+	if err != nil {
+		return errStatus(err), err.Error()
+	}
+	for _, v := range iovs {
+		chunkedCopy(chunks, v.off, data[:v.length], true)
+		data = data[v.length:]
+	}
+	s.WriteOps.Add(uint64(len(iovs)))
+	s.BytesWrite.Add(uint64(total))
+	return statusOK, ""
 }
 
 // Stats is the STAT response.
@@ -322,7 +468,7 @@ type Stats struct {
 	BytesWrite uint64
 }
 
-func (s *Server) handleStat(conn net.Conn) error {
+func (s *Server) doStat() []byte {
 	s.mu.Lock()
 	st := Stats{
 		Regions:   uint64(len(s.regions)),
@@ -340,5 +486,254 @@ func (s *Server) handleStat(conn net.Conn) error {
 	binary.LittleEndian.PutUint64(buf[24:], st.WriteOps)
 	binary.LittleEndian.PutUint64(buf[32:], st.BytesRead)
 	binary.LittleEndian.PutUint64(buf[40:], st.BytesWrite)
-	return respond(conn, buf)
+	return buf
+}
+
+func (s *Server) handleStat(conn net.Conn) error {
+	return respond(conn, s.doStat())
+}
+
+// v2req is one decoded v2 request frame handed to the worker pool.
+type v2req struct {
+	op       byte
+	id       uint64
+	regionID uint64
+	offset   int64
+	length   int64
+	payload  []byte // pooled; recycled by the worker after execution
+}
+
+// v2resp is one response frame queued for the connection's writer.
+// Exactly one of body/segs is set: body is an owned buffer (pooled
+// when flagged), segs are zero-copy references into live region chunks
+// that the writer hands straight to writev — a successful v2 READ
+// never copies the page inside the server.
+type v2resp struct {
+	status byte
+	id     uint64
+	body   []byte
+	segs   net.Buffers
+	pooled bool // body came from the frame pool; writer recycles it
+}
+
+// appendChunkSegs appends the chunk subslices covering
+// [offset, offset+length) to segs without copying. The caller must
+// have validated the range. Safe to hold across the response write:
+// chunks live as long as the server (regions are never deregistered),
+// and a concurrent overlapping WRITE tears the read exactly as
+// one-sided RDMA would.
+func appendChunkSegs(segs net.Buffers, chunks [][]byte, offset, length int64) net.Buffers {
+	for length > 0 {
+		ci := offset / ChunkBytes
+		co := offset % ChunkBytes
+		n := length
+		if rem := ChunkBytes - co; n > rem {
+			n = rem
+		}
+		segs = append(segs, chunks[ci][co:co+n])
+		offset += n
+		length -= n
+	}
+	return segs
+}
+
+// doReadSegs is the zero-copy v2 read: it returns writev segments
+// aliasing the region instead of a copied buffer.
+func (s *Server) doReadSegs(regionID uint64, offset, length int64) (net.Buffers, byte, string) {
+	chunks, err := s.regionAt(regionID, offset, length)
+	if err != nil {
+		return nil, errStatus(err), err.Error()
+	}
+	s.ReadOps.Add(1)
+	s.BytesRead.Add(uint64(length))
+	return appendChunkSegs(nil, chunks, offset, length), statusOK, ""
+}
+
+// doReadVSegs is the zero-copy batched read: one segment list covering
+// every descriptor in order.
+func (s *Server) doReadVSegs(regionID uint64, payload []byte) (net.Buffers, byte, string) {
+	iovs, consumed, total, err := parseIovecs(payload)
+	if err != nil {
+		return nil, statusErr, err.Error()
+	}
+	if consumed != len(payload) {
+		return nil, statusErr, fmt.Sprintf("readv: %d trailing payload bytes", len(payload)-consumed)
+	}
+	chunks, err := s.regionForBatch(regionID, iovs)
+	if err != nil {
+		return nil, errStatus(err), err.Error()
+	}
+	segs := make(net.Buffers, 0, len(iovs)+1)
+	for _, v := range iovs {
+		segs = appendChunkSegs(segs, chunks, v.off, v.length)
+	}
+	s.ReadOps.Add(uint64(len(iovs)))
+	s.BytesRead.Add(uint64(total))
+	return segs, statusOK, ""
+}
+
+// serveV2 runs the pipelined protocol on one connection: this goroutine
+// decodes frames and feeds a bounded worker pool; workers execute
+// against the region store concurrently; a single writer goroutine
+// serializes responses back onto the wire (one writev per frame).
+// Responses complete out of order — that is the point of request IDs.
+//
+// Concurrent requests touching overlapping byte ranges race exactly as
+// one-sided RDMA would: the server guarantees frame integrity, not
+// cross-request ordering. Callers that need ordering (the paging
+// systems do: one page has one owner at a time) must not issue
+// conflicting ops concurrently.
+func (s *Server) serveV2(conn net.Conn, br *bufio.Reader) {
+	reqs := make(chan *v2req, s.opts.Workers*2)
+	resps := make(chan *v2resp, s.opts.Workers*2)
+	var workWG, writeWG sync.WaitGroup
+	for i := 0; i < s.opts.Workers; i++ {
+		workWG.Add(1)
+		go func() { //magevet:ok real network daemon: bounded per-connection worker pool for the pipelined protocol
+			defer workWG.Done()
+			for r := range reqs {
+				resps <- s.execV2(r)
+			}
+		}()
+	}
+	writeWG.Add(1)
+	go func() { //magevet:ok real network daemon: single response-writer goroutine per v2 connection
+		defer writeWG.Done()
+		var hdrs [writeBatch][v2RespHdrLen]byte
+		iov := make(net.Buffers, 0, 2*writeBatch)
+		batch := make([]*v2resp, 0, writeBatch)
+		var werr error
+		for r := range resps {
+			// Coalesce every queued response into one writev: under a
+			// deep pipeline the syscall, not the copy, is the bottleneck.
+			batch = append(batch[:0], r)
+			// Yield once between drain rounds so concurrently-finishing
+			// workers can queue their responses into this writev (see the
+			// client writeLoop for the rationale).
+			for round := 0; round < 2 && len(batch) < writeBatch; round++ {
+				// This goroutine is resps' only receiver, so a non-zero
+				// len() guarantees a buffered element and a non-blocking
+				// receive (even after close) — a plain recv is ~3x cheaper
+				// than a select-with-default here.
+				for len(batch) < writeBatch && len(resps) > 0 {
+					batch = append(batch, <-resps)
+				}
+				if round == 0 && len(batch) < writeBatch {
+					runtime.Gosched() //magevet:ok micro-batching yield on the response-writer goroutine of a real TCP daemon
+				}
+			}
+			if werr == nil {
+				iov = iov[:0]
+				for i, b := range batch {
+					n := int64(len(b.body))
+					for _, seg := range b.segs {
+						n += int64(len(seg))
+					}
+					hdr := &hdrs[i]
+					hdr[0] = b.status
+					binary.LittleEndian.PutUint64(hdr[1:], b.id)
+					binary.LittleEndian.PutUint64(hdr[9:], uint64(n))
+					iov = append(iov, hdr[:])
+					if len(b.body) > 0 {
+						iov = append(iov, b.body)
+					}
+					iov = append(iov, b.segs...)
+				}
+				if _, err := iov.WriteTo(conn); err != nil {
+					werr = err
+				}
+			}
+			// Keep draining after a write error so workers never block;
+			// the reader will notice the dead connection and shut down.
+			for _, b := range batch {
+				if b.pooled {
+					PutBuf(b.body)
+				}
+			}
+		}
+	}()
+
+	hdr := make([]byte, v2ReqHdrLen)
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			break
+		}
+		r := &v2req{
+			op:       hdr[0],
+			id:       binary.LittleEndian.Uint64(hdr[1:9]),
+			regionID: binary.LittleEndian.Uint64(hdr[9:17]),
+			offset:   int64(binary.LittleEndian.Uint64(hdr[17:25])),
+			length:   int64(binary.LittleEndian.Uint64(hdr[25:33])),
+		}
+		// Ops that carry a payload declare its size in the length field.
+		// An absurd size is a framing violation we cannot skip past, so
+		// the connection dies; in-range payloads are always consumed so
+		// the stream stays aligned even when the op is later rejected.
+		if r.op == opWrite || r.op == opReadV || r.op == opWriteV {
+			if r.length < 0 || r.length > maxV2Payload {
+				break
+			}
+			if r.length > 0 {
+				r.payload = getBuf(int(r.length))
+				if _, err := io.ReadFull(br, r.payload); err != nil {
+					PutBuf(r.payload)
+					break
+				}
+			}
+		}
+		// Fast path: execute page-sized ops inline instead of bouncing
+		// them through the worker pool. A 4 KiB read is cheaper than the
+		// two channel handoffs and goroutine wakeup the pool costs, and
+		// zero-copy reads do no memmove at all; only large transfers and
+		// region registration (which allocates the region) are worth
+		// shipping to a worker.
+		if r.length >= 0 && r.length <= inlineExecMax && r.op != opRegister {
+			resps <- s.execV2(r)
+			continue
+		}
+		reqs <- r
+	}
+	close(reqs)
+	workWG.Wait()
+	close(resps)
+	writeWG.Wait()
+}
+
+// execV2 executes one decoded request and builds its response frame,
+// recycling the request payload.
+func (s *Server) execV2(r *v2req) *v2resp {
+	resp := &v2resp{id: r.id}
+	var code byte
+	var msg string
+	switch r.op {
+	case opRegister:
+		resp.body, code, msg = s.doRegister(r.length)
+	case opRead:
+		resp.segs, code, msg = s.doReadSegs(r.regionID, r.offset, r.length)
+	case opWrite:
+		if len(r.payload) == 0 {
+			code, msg = statusErr, "bad length 0"
+		} else if r.length > MaxIO {
+			code, msg = statusErr, fmt.Sprintf("bad length %d", r.length)
+		} else {
+			code, msg = s.doWrite(r.regionID, r.offset, r.payload)
+		}
+	case opReadV:
+		resp.segs, code, msg = s.doReadVSegs(r.regionID, r.payload)
+	case opWriteV:
+		code, msg = s.doWriteV(r.regionID, r.payload)
+	case opStat:
+		resp.body, code = s.doStat(), statusOK
+	default:
+		code, msg = statusErr, fmt.Sprintf("bad opcode %d", r.op)
+	}
+	if r.payload != nil {
+		PutBuf(r.payload)
+		r.payload = nil
+	}
+	resp.status = code
+	if code != statusOK {
+		resp.body, resp.pooled = []byte(msg), false
+	}
+	return resp
 }
