@@ -295,9 +295,14 @@ func (s *stream) writeLoop() {
 			}
 			// Arm the read deadline under pmu so it linearizes against the
 			// reader's drained-pipeline clear: a new batch can never be
-			// left without a deadline by a racing clear.
+			// left without a deadline by a racing clear. If the batch's
+			// responses already arrived and drained pending, the reader's
+			// clear won — re-arming here would leave an idle connection
+			// with a live deadline that later poisons the stream.
 			s.pmu.Lock()
-			s.conn.SetReadDeadline(last)
+			if len(s.pending) > 0 {
+				s.conn.SetReadDeadline(last)
+			}
 			s.pmu.Unlock()
 		case <-s.dead:
 			return
@@ -850,6 +855,11 @@ func (c *Client) executeBatchV1(st *stream, ca *call) ([]byte, error) {
 			PutBuf(buf)
 			return nil, err
 		}
+		if int64(len(body)) != v.length {
+			PutBuf(body)
+			PutBuf(buf)
+			return nil, fmt.Errorf("memnode: short read response (%d of %d bytes)", len(body), v.length)
+		}
 		copy(out[:v.length], body)
 		PutBuf(body)
 		out = out[v.length:]
@@ -954,7 +964,9 @@ func (c *Client) ReadV(handle uint64, offsets []int64, pageBytes int64) ([][]byt
 	if len(offsets) == 0 || len(offsets) > MaxBatchPages {
 		return nil, fmt.Errorf("memnode: bad batch size %d", len(offsets))
 	}
-	if pageBytes <= 0 || pageBytes*int64(len(offsets)) > MaxIO {
+	// Division, not multiplication: pageBytes*len(offsets) can overflow
+	// int64 and slip past a product-form check.
+	if pageBytes <= 0 || pageBytes > MaxIO/int64(len(offsets)) {
 		return nil, fmt.Errorf("memnode: bad batch page size %d", pageBytes)
 	}
 	iovs := make([]iovec, len(offsets))

@@ -3,6 +3,7 @@ package memnode
 import (
 	"encoding/binary"
 	"io"
+	"math"
 	"net"
 	"testing"
 	"time"
@@ -130,6 +131,13 @@ func FuzzServeRequest(f *testing.F) {
 	f.Add(v2stream(v2frame(opRead, 18, 1, 0, 4096, nil)[:v2ReqHdrLen-3])) // truncated v2 header
 	f.Add(v2stream(v2frame(opRead, 19, 999, 0, 4096, nil)))               // unknown region via v2
 	f.Add(v2stream(v2frame(opHello, 20, helloMagic, protoV2, 0, nil)))    // HELLO inside v2: bad opcode
+	// off+length overflow seeds: an offset near MaxInt64 wraps the naive
+	// bounds sum negative, so these must be rejected, not executed.
+	f.Add(frame(opRead, 1, math.MaxInt64-100, 4096, nil))
+	f.Add(v2stream(v2frame(opRead, 21, 1, math.MaxInt64-100, 4096, nil)))
+	f.Add(v2stream(v2frame(opReadV, 22, 1, 0, 24, descs(math.MaxInt64-100, 4096))))
+	dov := descs(math.MaxInt64-100, 4096)
+	f.Add(v2stream(v2frame(opWriteV, 23, 1, 0, int64(len(dov))+4096, append(dov, make([]byte, 4096)...))))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := fuzzServer()

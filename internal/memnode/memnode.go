@@ -327,8 +327,10 @@ func (s *Server) regionAt(regionID uint64, offset, length int64) ([][]byte, erro
 	if !ok {
 		return nil, fmt.Errorf("%w %d", errUnknownRegion, regionID)
 	}
-	if offset < 0 || offset+length > s.sizes[regionID] {
-		return nil, fmt.Errorf("out of bounds [%d,%d) in %d", offset, offset+length, s.sizes[regionID])
+	// offset > size-length rather than offset+length > size: the sum
+	// overflows int64 for offsets near MaxInt64 and would pass validation.
+	if size := s.sizes[regionID]; offset < 0 || length > size || offset > size-length {
+		return nil, fmt.Errorf("out of bounds off=%d len=%d in %d", offset, length, size)
 	}
 	return chunks, nil
 }
@@ -345,8 +347,9 @@ func (s *Server) regionForBatch(regionID uint64, iovs []iovec) ([][]byte, error)
 	}
 	size := s.sizes[regionID]
 	for i, v := range iovs {
-		if v.off < 0 || v.off+v.length > size {
-			return nil, fmt.Errorf("batch desc %d out of bounds [%d,%d) in %d", i, v.off, v.off+v.length, size)
+		// Overflow-safe form of v.off+v.length > size (see regionAt).
+		if v.off < 0 || v.length > size || v.off > size-v.length {
+			return nil, fmt.Errorf("batch desc %d out of bounds off=%d len=%d in %d", i, v.off, v.length, size)
 		}
 	}
 	return chunks, nil
