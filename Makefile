@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DATE ?= $(shell date +%F)
 
-.PHONY: all build vet magevet test magecheck fmt check bench cover
+.PHONY: all build vet magevet test magecheck fmt fmtcheck lint check bench cover
 
 all: check
 
@@ -11,9 +11,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Determinism lint for the DES core; see DESIGN.md §7.
+# Static-analysis suite: determinism rules for the DES core plus the
+# bug-class passes (overflowcmp, lockscope, mapdrain, errdrop,
+# oksuppress); see DESIGN.md §12. Runs with no baseline: any finding
+# fails, under both build-tag variants.
 magevet:
 	$(GO) run ./cmd/magevet ./...
+	$(GO) run ./cmd/magevet -tags magecheck ./...
 
 test:
 	$(GO) test ./...
@@ -24,6 +28,14 @@ magecheck:
 
 fmt:
 	gofmt -l .
+
+# fmtcheck fails (unlike fmt, which only lists) so lint/CI can gate on it.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+# The full static gate CI's static-analysis job runs: formatting, go
+# vet, and the magevet suite with an empty baseline.
+lint: fmtcheck vet magevet
 
 # Benchmark snapshot: engine dispatch + figure regeneration + the fault
 # pipeline with and without injected faults + the memnode wire protocol
@@ -50,4 +62,4 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR_CORE)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "internal/core coverage $${total}% fell below the $(COVER_FLOOR_CORE)% floor" >&2; exit 1; }
 
-check: build vet magevet test magecheck
+check: build lint test magecheck

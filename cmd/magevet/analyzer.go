@@ -1,0 +1,215 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// diagnostic is one finding.
+type diagnostic struct {
+	pos   token.Position
+	check string
+	msg   string
+}
+
+func (d diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.pos.Filename, d.pos.Line, d.pos.Column, d.check, d.msg)
+}
+
+// allowEntry is one //magevet:ok marker with a reason. Markers in test
+// files are recorded (for the oksuppress audit) even though magevet
+// does not analyze test code. guard is the single line the marker
+// silences: its own line for a trailing marker, the line below for a
+// marker on a standalone comment line. One marker never guards two
+// lines — a range-line suppression must not be able to mask a
+// different finding on the statement below it.
+type allowEntry struct {
+	pos    token.Position
+	guard  int
+	inTest bool
+}
+
+// analyzer runs the enabled passes over loaded packages.
+type analyzer struct {
+	l       *loader
+	passes  []*pass
+	diags   []diagnostic // raw findings, before suppression filtering
+	allows  []allowEntry // reasoned magevet:ok markers, in scan order
+	enabled map[string]bool
+}
+
+func newAnalyzer(l *loader, passes []*pass) *analyzer {
+	a := &analyzer{l: l, passes: passes, enabled: make(map[string]bool)}
+	for _, p := range passes {
+		a.enabled[p.name] = true
+	}
+	return a
+}
+
+// passCtx is the per-file context handed to a pass's inspect hook.
+type passCtx struct {
+	a        *analyzer
+	p        *pkgInfo
+	scope    pkgScope
+	fileName string // base name of the file being walked
+	pass     *pass
+}
+
+// report records a finding for the pass that owns this context.
+func (cx *passCtx) report(pos token.Pos, format string, args ...any) {
+	cx.a.diags = append(cx.a.diags, diagnostic{
+		pos:   cx.a.l.fset.Position(pos),
+		check: cx.pass.name,
+		msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// relPath strips the module prefix from an import path.
+func (a *analyzer) relPath(importPath string) string {
+	if importPath == a.l.module {
+		return ""
+	}
+	return strings.TrimPrefix(importPath, a.l.module+"/")
+}
+
+// analyze runs every applicable node-driven pass on one package via a
+// single shared traversal per file.
+func (a *analyzer) analyze(p *pkgInfo) {
+	scope := pkgScope{rel: a.relPath(p.ImportPath)}
+	scope.isInternal = strings.HasPrefix(scope.rel, "internal/")
+	scope.isDES = desPackages[scope.rel]
+
+	var active []*pass
+	for _, ps := range a.passes {
+		if ps.inspect == nil {
+			continue
+		}
+		if ps.applies == nil || ps.applies(scope) {
+			active = append(active, ps)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+
+	for _, f := range p.Files {
+		ctxs := make([]passCtx, len(active))
+		fileName := filepath.Base(a.l.fset.Position(f.Pos()).Filename)
+		for i, ps := range active {
+			ctxs[i] = passCtx{a: a, p: p, scope: scope, fileName: fileName, pass: ps}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			for i := range ctxs {
+				ctxs[i].pass.inspect(&ctxs[i], n)
+			}
+			return true
+		})
+	}
+}
+
+// collectAllowlist scans a package's comments — including its test
+// files, which the passes themselves never analyze — for //magevet:ok
+// markers. A marker must carry a reason; bare markers are reported by
+// the badallow pass.
+func (a *analyzer) collectAllowlist(p *pkgInfo) {
+	for _, f := range p.Files {
+		a.scanComments(f, false)
+	}
+	for _, name := range p.TestFiles {
+		path := filepath.Join(p.Dir, name)
+		f, err := parser.ParseFile(a.l.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			continue // a broken test file is the compiler's problem, not ours
+		}
+		a.scanComments(f, true)
+	}
+}
+
+// codeLines returns the set of lines in f holding non-comment tokens,
+// used to classify a marker as trailing (code on its line) or
+// standalone.
+func (a *analyzer) codeLines(f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[a.l.fset.Position(n.Pos()).Line] = true
+		lines[a.l.fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+func (a *analyzer) scanComments(f *ast.File, inTest bool) {
+	code := a.codeLines(f)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			// The marker is the exact prefix //magevet:ok (no space):
+			// prose that merely mentions the marker must not register
+			// as a suppression.
+			rest, ok := strings.CutPrefix(c.Text, "//magevet:ok")
+			if !ok {
+				rest, ok = strings.CutPrefix(c.Text, "/*magevet:ok")
+				rest = strings.TrimSuffix(rest, "*/")
+			}
+			if !ok {
+				continue
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // //magevet:okay etc.
+			}
+			if strings.TrimSpace(rest) == "" {
+				if a.enabled[passBadAllow.name] {
+					a.diags = append(a.diags, diagnostic{
+						pos:   a.l.fset.Position(c.Pos()),
+						check: passBadAllow.name,
+						msg:   "magevet:ok needs a reason: //magevet:ok <why this site is safe>",
+					})
+				}
+				continue
+			}
+			pos := a.l.fset.Position(c.Pos())
+			guard := pos.Line + 1
+			if code[pos.Line] {
+				guard = pos.Line
+			}
+			a.allows = append(a.allows, allowEntry{pos: pos, guard: guard, inTest: inTest})
+		}
+	}
+}
+
+// filterAllowed drops suppressible diagnostics on a line guarded by a
+// magevet:ok marker (see allowEntry.guard). Passes with bypassAllow
+// set (the suppression auditors themselves) are never filtered.
+func (a *analyzer) filterAllowed() []diagnostic {
+	lines := make(map[string]map[int]bool)
+	for _, e := range a.allows {
+		if lines[e.pos.Filename] == nil {
+			lines[e.pos.Filename] = make(map[int]bool)
+		}
+		lines[e.pos.Filename][e.guard] = true
+	}
+	bypass := make(map[string]bool)
+	for _, p := range registry {
+		if p.bypassAllow {
+			bypass[p.name] = true
+		}
+	}
+	var out []diagnostic
+	for _, d := range a.diags {
+		if !bypass[d.check] && lines[d.pos.Filename][d.pos.Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

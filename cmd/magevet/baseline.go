@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonDiag is the stable wire form of one finding, used both for -json
+// output and for baseline files.
+type jsonDiag struct {
+	File  string `json:"file"`
+	Line  int    `json:"line,omitempty"` // omitted in baselines: lines drift, findings persist
+	Col   int    `json:"col,omitempty"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
+// writeJSON emits the findings as a JSON array (stable order: the
+// caller sorts).
+func writeJSON(w io.Writer, diags []diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{File: d.pos.Filename, Line: d.pos.Line, Col: d.pos.Column, Check: d.check, Msg: d.msg})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// baseline is a tolerated-findings set keyed by (file, check, msg) —
+// deliberately not by line, so unrelated edits above a baselined
+// finding do not resurrect it. The workflow is a ratchet: a new pass
+// lands with `-write-baseline`, the debt is burned down, and CI runs
+// with no baseline at all (see DESIGN.md §12).
+type baseline struct {
+	keys map[string]bool
+}
+
+func baselineKey(file, check, msg string) string {
+	return file + "\x00" + check + "\x00" + msg
+}
+
+// readBaseline loads a baseline file written by -write-baseline.
+func readBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []jsonDiag
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	b := &baseline{keys: make(map[string]bool, len(entries))}
+	for _, e := range entries {
+		b.keys[baselineKey(e.File, e.Check, e.Msg)] = true
+	}
+	return b, nil
+}
+
+// writeBaseline records the current findings (line-less) as the new
+// tolerated set.
+func writeBaseline(path string, diags []diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{File: d.pos.Filename, Check: d.check, Msg: d.msg})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// filter drops findings present in the baseline.
+func (b *baseline) filter(diags []diagnostic) []diagnostic {
+	var out []diagnostic
+	for _, d := range diags {
+		if b.keys[baselineKey(d.pos.Filename, d.check, d.msg)] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -33,6 +33,7 @@ type pkgInfo struct {
 	ImportPath string
 	Dir        string
 	Files      []*ast.File
+	TestFiles  []string // _test.go file names: scanned for magevet:ok markers only
 	Types      *types.Package
 	Info       *types.Info
 	loading    bool
@@ -144,6 +145,8 @@ func (l *loader) load(path string) *pkgInfo {
 	}
 	names := append([]string{}, bp.GoFiles...)
 	sort.Strings(names)
+	p.TestFiles = append(append([]string{}, bp.TestGoFiles...), bp.XTestGoFiles...)
+	sort.Strings(p.TestFiles)
 	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 		if err != nil {

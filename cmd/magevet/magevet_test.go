@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -43,15 +44,35 @@ func wantDiagnostics(t *testing.T, root string) map[string][]string {
 	return want
 }
 
-// TestFixtures checks the analyzer against the expected-diagnostic
-// comments in testdata/mage: every want comment must be matched by
-// exactly the named checks, and no unexpected findings may appear.
-func TestFixtures(t *testing.T) {
-	const root = "testdata/mage"
-	diags, nerrs := analyzeRoots([]string{root + "/..."}, nil, os.Stderr)
-	if nerrs > 0 {
-		t.Fatalf("%d load error(s) analyzing fixtures", nerrs)
+const fixtureRoot = "testdata/mage"
+
+// mustSelect resolves a -passes/-skip pair against the registry.
+func mustSelect(t *testing.T, passesFlag, skipFlag string) []*pass {
+	t.Helper()
+	ps, err := selectPasses(passesFlag, skipFlag)
+	if err != nil {
+		t.Fatal(err)
 	}
+	return ps
+}
+
+// fixtureDiags runs the given pass set over the fixture tree.
+func fixtureDiags(t *testing.T, passes []*pass) []diagnostic {
+	t.Helper()
+	var stderr bytes.Buffer
+	diags, nerrs := analyzeRoots([]string{fixtureRoot + "/..."}, nil, passes, &stderr)
+	if nerrs > 0 {
+		t.Fatalf("%d load error(s) analyzing fixtures:\n%s", nerrs, &stderr)
+	}
+	return diags
+}
+
+// TestFixtures checks the full default suite against the expected-
+// diagnostic comments in testdata/mage: every want comment must be
+// matched by exactly the named checks, and no unexpected findings may
+// appear.
+func TestFixtures(t *testing.T) {
+	diags := fixtureDiags(t, mustSelect(t, "", ""))
 
 	got := make(map[string][]string)
 	for _, d := range diags {
@@ -63,7 +84,7 @@ func TestFixtures(t *testing.T) {
 		got[key] = append(got[key], d.check)
 	}
 
-	want := wantDiagnostics(t, root)
+	want := wantDiagnostics(t, fixtureRoot)
 	for key, checks := range want {
 		sort.Strings(checks)
 		g := append([]string(nil), got[key]...)
@@ -78,6 +99,153 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
+// TestEveryPassHasFixture is the registry meta-test: a pass may not be
+// registered without a fixture line pinning its behavior, so the suite
+// cannot silently grow unexercised checks.
+func TestEveryPassHasFixture(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, checks := range wantDiagnostics(t, fixtureRoot) {
+		for _, c := range checks {
+			covered[c] = true
+		}
+	}
+	for _, p := range registry {
+		if !covered[p.name] {
+			t.Errorf("pass %s has no '// want %s' fixture under %s", p.name, p.name, fixtureRoot)
+		}
+		if p.doc == "" || p.bug == "" {
+			t.Errorf("pass %s: registry entry needs both doc and bug strings", p.name)
+		}
+	}
+}
+
+// TestPassEnableDisable pins the selection contract per new pass: its
+// fixture findings appear when the pass runs (alone or in the default
+// set) and vanish when it is skipped.
+func TestPassEnableDisable(t *testing.T) {
+	count := func(diags []diagnostic, check string) int {
+		n := 0
+		for _, d := range diags {
+			if d.check == check {
+				n++
+			}
+		}
+		return n
+	}
+	for _, name := range []string{"overflowcmp", "lockscope", "mapdrain", "errdrop"} {
+		if n := count(fixtureDiags(t, mustSelect(t, name, "")), name); n == 0 {
+			t.Errorf("pass %s alone: no fixture findings", name)
+		}
+		if n := count(fixtureDiags(t, mustSelect(t, "", name)), name); n != 0 {
+			t.Errorf("skip %s: %d findings still reported", name, n)
+		}
+	}
+	// oksuppress needs the whole suppressible suite to judge staleness,
+	// so it is exercised via the default set.
+	if n := count(fixtureDiags(t, mustSelect(t, "", "")), "oksuppress"); n == 0 {
+		t.Error("default suite: no oksuppress fixture findings")
+	}
+	if n := count(fixtureDiags(t, mustSelect(t, "", "oksuppress")), "oksuppress"); n != 0 {
+		t.Errorf("skip oksuppress: %d findings still reported", n)
+	}
+}
+
+// TestOKSuppressNeedsFullSuite pins the coverage gate: with part of the
+// suppressible suite disabled, staleness is undecidable and the audit
+// must skip with a note instead of reporting false positives.
+func TestOKSuppressNeedsFullSuite(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-passes", "overflowcmp,oksuppress", "./" + fixtureRoot + "/..."}, &stdout, &stderr)
+	if code != 1 { // overflowcmp fixtures still fail the run
+		t.Fatalf("run = %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "oksuppress skipped") {
+		t.Errorf("stderr missing the oksuppress-skipped note: %q", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "oksuppress") {
+		t.Errorf("oksuppress findings reported despite partial suite:\n%s", &stdout)
+	}
+}
+
+// TestUsageAndListCoverRegistry guards the generated help text: every
+// registered pass must appear in both the usage catalog and -list, so
+// the documented check list cannot drift from the implemented one.
+func TestUsageAndListCoverRegistry(t *testing.T) {
+	usage, list := usageText(), listText()
+	for _, p := range registry {
+		if !strings.Contains(usage, p.name) {
+			t.Errorf("usage text missing pass %s", p.name)
+		}
+		if !strings.Contains(list, p.name) || !strings.Contains(list, p.bug) {
+			t.Errorf("-list output missing pass %s or its pinned bug", p.name)
+		}
+	}
+	var stdout bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, io.Discard); code != 0 {
+		t.Fatalf("run -list = %d, want 0", code)
+	}
+	if stdout.String() != list {
+		t.Error("-list output does not match listText()")
+	}
+}
+
+// TestJSONOutput checks the machine-readable mode: findings come out as
+// a JSON array with file, position, check, and message populated.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./" + fixtureRoot + "/internal/ioerr"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	var got []jsonDiag
+	if err := json.Unmarshal(stdout.Bytes(), &got); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, &stdout)
+	}
+	if len(got) == 0 {
+		t.Fatal("no JSON findings for the ioerr fixture")
+	}
+	for _, d := range got {
+		if d.File == "" || d.Line == 0 || d.Check != "errdrop" || d.Msg == "" {
+			t.Errorf("incomplete JSON finding: %+v", d)
+		}
+	}
+}
+
+// TestBaselineRatchet drives the debt workflow: -write-baseline
+// captures the current findings, a run against that baseline is clean,
+// and the stored entries carry no line numbers so they survive
+// unrelated edits above them.
+func TestBaselineRatchet(t *testing.T) {
+	bl := filepath.Join(t.TempDir(), "baseline.json")
+	root := "./" + fixtureRoot + "/..."
+
+	var stderr bytes.Buffer
+	if code := run([]string{"-write-baseline", bl, root}, io.Discard, &stderr); code != 0 {
+		t.Fatalf("write-baseline = %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	var stdout bytes.Buffer
+	stderr.Reset()
+	if code := run([]string{"-baseline", bl, root}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run with fresh baseline = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+
+	data, err := os.ReadFile(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []jsonDiag
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("baseline is not a JSON array: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("baseline captured no findings")
+	}
+	for _, e := range entries {
+		if e.Line != 0 || e.Col != 0 {
+			t.Errorf("baseline entry carries a position (%+v): entries must be line-less", e)
+		}
+	}
+}
+
 func mustGetwd(t *testing.T) string {
 	t.Helper()
 	wd, err := os.Getwd()
@@ -88,10 +256,10 @@ func mustGetwd(t *testing.T) string {
 }
 
 // TestRunExitCodes drives the command entry point: the fixture tree must
-// fail with exit 1, and an empty argument list must scan nothing extra.
+// fail with exit 1, and the summary line must reach stderr.
 func TestRunExitCodes(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"./testdata/mage/..."}, &stdout, &stderr); code != 1 {
+	if code := run([]string{"./" + fixtureRoot + "/..."}, &stdout, &stderr); code != 1 {
 		t.Fatalf("run on fixtures = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
 	}
 	if !strings.Contains(stderr.String(), "finding(s)") {
@@ -100,7 +268,7 @@ func TestRunExitCodes(t *testing.T) {
 }
 
 // TestRepoIsClean locks in the repo-wide guarantee: the live tree has no
-// magevet findings, under both build-tag variants.
+// magevet findings — with no baseline — under both build-tag variants.
 func TestRepoIsClean(t *testing.T) {
 	for _, tags := range []string{"", "magecheck"} {
 		args := []string{"../../..."}
@@ -115,9 +283,12 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestBadFlagExits ensures flag errors surface as load failures.
+// TestBadFlagExits ensures flag and selection errors surface as exit 2.
 func TestBadFlagExits(t *testing.T) {
 	if code := run([]string{"-nosuchflag"}, io.Discard, io.Discard); code != 2 {
 		t.Fatalf("run with bad flag = %d, want 2", code)
+	}
+	if code := run([]string{"-passes", "nosuchpass"}, io.Discard, io.Discard); code != 2 {
+		t.Fatalf("run with unknown pass = %d, want 2", code)
 	}
 }

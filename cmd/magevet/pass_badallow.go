@@ -1,0 +1,12 @@
+package main
+
+// passBadAllow reports //magevet:ok markers that carry no reason. It is
+// not node-driven: the analyzer's suppression scan reports under this
+// name while building the allowlist (see analyzer.scanComments).
+var passBadAllow = &pass{
+	name:        "badallow",
+	doc:         "//magevet:ok comments without a reason",
+	bug:         "pre-seed: unexplained suppressions rotting into folklore",
+	defaultOn:   true,
+	bypassAllow: true,
+}

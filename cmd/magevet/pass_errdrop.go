@@ -1,0 +1,121 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var passErrDrop = &pass{
+	name:      "errdrop",
+	doc:       "error returns silently discarded in internal/ (outside tests)",
+	bug:       "PR 3 near-miss: a dropped Close error hid the memnode listener teardown failure the chaos tests later tripped on",
+	defaultOn: true,
+	applies:   appliesInternal,
+	inspect:   errDropInspect,
+}
+
+// errDropInspect flags statements that invoke a function returning an
+// error and ignore every result: plain call statements, go, and defer.
+// An explicit `_ =` assignment is the audited escape hatch — it shows
+// the author saw the error — and is not flagged. Writers that are
+// documented never to fail (bytes.Buffer, strings.Builder, hash.Hash,
+// fmt printing to stdout/stderr) are exempt.
+func errDropInspect(cx *passCtx, n ast.Node) {
+	var call *ast.CallExpr
+	switch s := n.(type) {
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+	case *ast.GoStmt:
+		call = s.Call
+	case *ast.DeferStmt:
+		call = s.Call
+	}
+	if call == nil || !returnsError(cx, call) || errDropExempt(cx, call) {
+		return
+	}
+	cx.report(call.Pos(),
+		"error returned by %s is silently dropped: handle it, or discard explicitly with _ = and a reason it cannot matter",
+		types.ExprString(call.Fun))
+}
+
+// returnsError reports whether the call's result type is or contains
+// error.
+func returnsError(cx *passCtx, call *ast.CallExpr) bool {
+	tv, ok := cx.p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	isErr := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErr(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErr(t)
+	}
+}
+
+// errDropExempt lists callees whose errors are conventionally or
+// provably meaningless: in-memory writers that never fail, hashes, and
+// fmt printing to the process's own stdio.
+func errDropExempt(cx *passCtx, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := cx.p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case pkg == "bytes" || pkg == "strings":
+		return true // Buffer / Builder writes are documented error-free
+	case strings.HasPrefix(pkg, "hash") || strings.HasPrefix(pkg, "crypto/"):
+		return true // hash.Hash.Write never returns an error
+	case pkg == "math/rand" || pkg == "math/rand/v2":
+		return true // rand.Read never fails
+	case pkg == "fmt" && strings.HasPrefix(name, "Print"):
+		return true // stdout diagnostics; nothing actionable on failure
+	case pkg == "fmt" && strings.HasPrefix(name, "Fprint"):
+		return stdioWriter(cx, call)
+	}
+	return false
+}
+
+// stdioWriter reports whether a Fprint-style call writes to the
+// process's own stdio, an in-memory buffer, or io.Discard.
+func stdioWriter(cx *passCtx, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	w := ast.Unparen(call.Args[0])
+	if sel, ok := w.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := cx.p.Info.Uses[id].(*types.PkgName); ok {
+				p := pn.Imported().Path()
+				if p == "os" && (sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+					return true
+				}
+				if p == "io" && sel.Sel.Name == "Discard" {
+					return true
+				}
+			}
+		}
+	}
+	if tv, ok := cx.p.Info.Types[w]; ok && tv.Type != nil {
+		switch tv.Type.String() {
+		case "*bytes.Buffer", "*strings.Builder":
+			return true
+		}
+	}
+	return false
+}

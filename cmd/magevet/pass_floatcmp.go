@@ -1,0 +1,42 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var passFloatCmp = &pass{
+	name:      "floatcmp",
+	doc:       "float ==/!= in internal/core/{costs,metrics}.go and internal/stats",
+	bug:       "pre-seed: reassociation-fragile exact float equality in cost code",
+	defaultOn: true,
+	applies: func(s pkgScope) bool {
+		return s.rel == "internal/stats" || s.rel == "internal/core"
+	},
+	inspect: floatCmpInspect,
+}
+
+// floatCmpInspect flags exact float equality in cost/metric code, where
+// it is almost always a reassociation-fragile bug.
+func floatCmpInspect(cx *passCtx, n ast.Node) {
+	if cx.scope.rel == "internal/core" && cx.fileName != "costs.go" && cx.fileName != "metrics.go" {
+		return
+	}
+	e, ok := n.(*ast.BinaryExpr)
+	if !ok || (e.Op != token.EQL && e.Op != token.NEQ) {
+		return
+	}
+	isFloat := func(x ast.Expr) bool {
+		tv, ok := cx.p.Info.Types[x]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	if isFloat(e.X) || isFloat(e.Y) {
+		cx.report(e.Pos(),
+			"float %s comparison: compare against an epsilon or restructure", e.Op)
+	}
+}

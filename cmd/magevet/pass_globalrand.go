@@ -1,0 +1,34 @@
+package main
+
+import "go/ast"
+
+var passGlobalRand = &pass{
+	name:      "globalrand",
+	doc:       "package-level math/rand draws anywhere under internal/",
+	bug:       "pre-seed: global-source rand draws breaking seed reproducibility",
+	defaultOn: true,
+	applies:   appliesInternal,
+	inspect:   globalRandInspect,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// seeded generators rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func globalRandInspect(cx *passCtx, n ast.Node) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	pkg, name := calleePkgFunc(cx.p, call)
+	if (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name] {
+		cx.report(call.Pos(),
+			"rand.%s draws from the global source: thread a seeded *rand.Rand from config", name)
+	}
+}

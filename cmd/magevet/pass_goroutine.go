@@ -1,0 +1,32 @@
+package main
+
+import "go/ast"
+
+var passGoroutine = &pass{
+	name:      "goroutine",
+	doc:       "go statements outside the host-concurrency allowance",
+	bug:       "pre-seed: goroutine scheduling order reaching simulation state",
+	defaultOn: true,
+	applies:   appliesConcurrencyBan,
+	inspect:   goroutineInspect,
+}
+
+// Host concurrency is banned across internal/ — not just in the DES
+// core — except in the packages granted a package-wide allowance.
+func appliesConcurrencyBan(s pkgScope) bool {
+	return s.isInternal && !hostConcurrencyPackages[s.rel]
+}
+
+func goroutineInspect(cx *passCtx, n ast.Node) {
+	g, ok := n.(*ast.GoStmt)
+	if !ok {
+		return
+	}
+	if cx.scope.isDES {
+		cx.report(g.Pos(),
+			"go statement in DES package %s: simulation code must be single-threaded virtual-time", cx.scope.rel)
+	} else {
+		cx.report(g.Pos(),
+			"go statement in internal package %s: host concurrency is confined to internal/parexp", cx.scope.rel)
+	}
+}

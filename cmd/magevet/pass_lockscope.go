@@ -1,0 +1,305 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var passLockScope = &pass{
+	name:      "lockscope",
+	doc:       "blocking calls under a held mutex; in-place mutation of retried state",
+	bug:       "PR 5: Client.do held the connection lock across the blocking exchange and mutated the call struct between retries while a poisoned stream's writer could still read it",
+	defaultOn: true,
+	applies:   func(s pkgScope) bool { return lockscopePackages[s.rel] },
+	inspect:   lockScopeInspect,
+}
+
+func lockScopeInspect(cx *passCtx, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		lockScopeBlock(cx, n)
+	case *ast.ForStmt:
+		lockScopeRetryLoop(cx, n)
+	}
+}
+
+// lockScopeBlock scans one statement list linearly, tracking which
+// mutexes are held, and flags blocking constructs inside the held
+// span. Lock state is updated as the walk encounters nested
+// Lock/Unlock statements in source order — a branch-aware CFG is out
+// of scope, so an unlock inside an early-exit branch disarms the rest
+// of the span (under-reporting, never false alarms from the re-lock
+// idiom).
+func lockScopeBlock(cx *passCtx, blk *ast.BlockStmt) {
+	var held []string // lock expressions currently held, in acquire order
+	release := func(name string) {
+		for i, h := range held {
+			if h == name {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	for _, st := range blk.List {
+		if name, kind := classifyLockStmt(cx, st); kind != lockNone {
+			switch kind {
+			case lockAcquire:
+				held = append(held, name)
+			case lockRelease:
+				release(name)
+			case lockDeferRelease:
+				// still held for the rest of the function
+			}
+			continue
+		}
+		if len(held) == 0 {
+			continue
+		}
+		ast.Inspect(st, func(m ast.Node) bool {
+			if s, ok := m.(ast.Stmt); ok {
+				if name, kind := classifyLockStmt(cx, s); kind != lockNone {
+					switch kind {
+					case lockAcquire:
+						held = append(held, name)
+					case lockRelease:
+						release(name)
+					}
+					return false
+				}
+			}
+			if len(held) == 0 {
+				return true // keep walking: the lock may be re-taken
+			}
+			locks := strings.Join(held, ", ")
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				// Deferred and goroutine bodies run outside the span;
+				// they get their own block scan.
+				return false
+			case *ast.SelectStmt:
+				if !selectHasDefault(m) {
+					cx.report(m.Pos(), "blocking select under %s: release the lock before waiting", locks)
+				}
+				return false
+			case *ast.SendStmt:
+				cx.report(m.Pos(), "channel send under %s: release the lock before blocking", locks)
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					cx.report(m.Pos(), "channel receive under %s: release the lock before blocking", locks)
+				}
+			case *ast.RangeStmt:
+				if tv, ok := cx.p.Info.Types[m.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						cx.report(m.Pos(), "range over channel under %s: release the lock before blocking", locks)
+					}
+				}
+			case *ast.CallExpr:
+				if desc := blockingCallDesc(cx, m); desc != "" {
+					cx.report(m.Pos(), "%s under %s: the lock is held across a blocking call", desc, locks)
+				}
+			}
+			return true
+		})
+	}
+}
+
+const (
+	lockNone = iota
+	lockAcquire
+	lockRelease
+	lockDeferRelease
+)
+
+// classifyLockStmt recognizes x.Lock() / x.RLock() / x.Unlock() /
+// x.RUnlock() statements (and deferred unlocks) on sync package
+// mutexes, returning the lock's receiver expression as its name.
+func classifyLockStmt(cx *passCtx, st ast.Stmt) (string, int) {
+	var call *ast.CallExpr
+	deferred := false
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call, deferred = s.Call, true
+	}
+	if call == nil {
+		return "", lockNone
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	fn, ok := cx.p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockNone
+	}
+	name := types.ExprString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		if deferred {
+			return "", lockNone
+		}
+		return name, lockAcquire
+	case "Unlock", "RUnlock":
+		if deferred {
+			return name, lockDeferRelease
+		}
+		return name, lockRelease
+	}
+	return "", lockNone
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingNetFuncs are the method/function names per package that park
+// the calling goroutine on I/O or another goroutine's progress.
+// Non-blocking accessors (SetDeadline, LocalAddr, ...) are deliberately
+// absent.
+var blockingFuncs = map[string]map[string]bool{
+	"sync":  {"Wait": true},
+	"time":  {"Sleep": true},
+	"net":   {"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true, "Accept": true, "AcceptTCP": true, "Dial": true, "DialTimeout": true, "Listen": true},
+	"bufio": {"Read": true, "ReadByte": true, "ReadRune": true, "ReadString": true, "ReadBytes": true, "ReadSlice": true, "Peek": true, "Write": true, "WriteString": true, "Flush": true},
+	"io":    {"ReadFull": true, "ReadAtLeast": true, "Copy": true, "CopyN": true, "ReadAll": true},
+}
+
+// blockingCallDesc reports a human-readable description if the call can
+// block on I/O, a timer, or another goroutine; "" otherwise.
+func blockingCallDesc(cx *passCtx, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := cx.p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	pkg := fn.Pkg().Path()
+	if !blockingFuncs[pkg][fn.Name()] {
+		return ""
+	}
+	// sync.Cond.Wait atomically releases the mutex it waits under —
+	// holding that lock is its contract, not a bug.
+	if pkg == "sync" && fn.Name() == "Wait" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if recv := sig.Recv().Type(); recv != nil && recv.String() == "*sync.Cond" {
+				return ""
+			}
+		}
+	}
+	return "blocking " + pkg + " call " + types.ExprString(call.Fun)
+}
+
+// lockScopeRetryLoop flags the Client.do bug shape: a variable declared
+// outside a retry loop whose address is handed off inside the loop (as
+// a call argument or channel send) and whose fields are then mutated in
+// place on later iterations — the receiver of the handoff (a writer
+// goroutine draining a poisoned stream, a pending-call table) may still
+// be reading the previous attempt's state. The fix is a per-iteration
+// copy: declare the mutated value inside the loop.
+func lockScopeRetryLoop(cx *passCtx, loop *ast.ForStmt) {
+	handed := make(map[types.Object]bool)
+	ast.Inspect(loop.Body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			for _, arg := range m.Args {
+				if obj := handedObj(cx, arg); obj != nil {
+					handed[obj] = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := handedObj(cx, m.Value); obj != nil {
+				handed[obj] = true
+			}
+		}
+		return true
+	})
+	if len(handed) == 0 {
+		return
+	}
+	ast.Inspect(loop.Body, func(m ast.Node) bool {
+		var lhss []ast.Expr
+		switch s := m.(type) {
+		case *ast.AssignStmt:
+			lhss = s.Lhs
+		case *ast.IncDecStmt:
+			lhss = []ast.Expr{s.X}
+		default:
+			return true
+		}
+		for _, lhs := range lhss {
+			base := mutationBase(lhs)
+			if base == nil {
+				continue
+			}
+			obj := cx.p.Info.Uses[base]
+			if obj == nil || !handed[obj] || obj.Pos() >= loop.Pos() {
+				continue
+			}
+			cx.report(lhs.Pos(),
+				"%s is handed off inside this loop and mutated in place across iterations: a previous attempt's consumer may still read it — make a per-iteration copy", base.Name)
+		}
+		return true
+	})
+}
+
+// handedObj returns the object of an argument that hands off shared
+// mutable state: a pointer-typed identifier, or &ident of any type.
+func handedObj(cx *passCtx, arg ast.Expr) types.Object {
+	arg = ast.Unparen(arg)
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		if id, ok := ast.Unparen(u.X).(*ast.Ident); ok {
+			return cx.p.Info.Uses[id]
+		}
+		return nil
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := cx.p.Info.Uses[id]
+	if obj == nil || obj.Type() == nil {
+		return nil
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return obj
+	}
+	return nil
+}
+
+// mutationBase returns the root identifier of a field or element
+// mutation (p.f = v, p.f.g = v, p[i] = v); nil for plain identifier
+// rebinding, which carries no aliasing hazard.
+func mutationBase(lhs ast.Expr) *ast.Ident {
+	lhs = ast.Unparen(lhs)
+	mutated := false
+	for {
+		switch e := lhs.(type) {
+		case *ast.SelectorExpr:
+			lhs, mutated = e.X, true
+		case *ast.IndexExpr:
+			lhs, mutated = e.X, true
+		case *ast.StarExpr:
+			lhs, mutated = e.X, true
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.Ident:
+			if mutated {
+				return e
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

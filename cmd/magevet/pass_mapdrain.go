@@ -1,0 +1,162 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var passMapDrain = &pass{
+	name:      "mapdrain",
+	doc:       "map keys/values collected into a slice with no sort before use",
+	bug:       "pre-seed hole rangemap misses: a 'sorted below' suppression outliving the sort it promised",
+	defaultOn: true,
+	// Everywhere, including cmd/: rangemap stops at internal/, but an
+	// unsorted key drain in a command still reaches stdout, JSON
+	// output, or a results file.
+	inspect: mapDrainInspect,
+}
+
+// mapDrainInspect audits the collect-then-iterate idiom: draining map
+// keys (or values) into a slice is only deterministic if the slice is
+// sorted before anything order-sensitive consumes it. rangemap flags
+// the range itself and is routinely suppressed with "keys are sorted
+// below" — this pass mechanically verifies that promise inside the
+// function, reporting at the append site (not the range line) so a
+// rangemap suppression cannot mask it.
+func mapDrainInspect(cx *passCtx, n ast.Node) {
+	fd, ok := n.(*ast.FuncDecl)
+	if !ok || fd.Body == nil {
+		return
+	}
+	type site struct {
+		obj   types.Object // the slice collecting map iteration order
+		pos   ast.Node     // the append assignment
+		slice string
+	}
+	var sites []site
+
+	ast.Inspect(fd.Body, func(m ast.Node) bool {
+		rs, ok := m.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := cx.p.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		iterObjs := make(map[types.Object]bool)
+		for _, v := range []ast.Expr{rs.Key, rs.Value} {
+			if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+				if obj := cx.p.Info.Defs[id]; obj != nil {
+					iterObjs[obj] = true
+				} else if obj := cx.p.Info.Uses[id]; obj != nil {
+					iterObjs[obj] = true
+				}
+			}
+		}
+		if len(iterObjs) == 0 {
+			return true
+		}
+		ast.Inspect(rs.Body, func(b ast.Node) bool {
+			as, ok := b.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fid, ok := call.Fun.(*ast.Ident)
+			if !ok || fid.Name != "append" {
+				return true
+			}
+			if _, isBuiltin := cx.p.Info.Uses[fid].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if !exprUsesAny(cx, call.Args[1:], iterObjs) {
+				return true
+			}
+			obj := cx.p.Info.Uses[lhs]
+			if obj == nil {
+				obj = cx.p.Info.Defs[lhs]
+			}
+			// A slice declared inside the range body is rebuilt every
+			// iteration and cannot accumulate iteration order.
+			if obj == nil || obj.Pos() >= rs.Pos() {
+				return true
+			}
+			sites = append(sites, site{obj: obj, pos: as, slice: lhs.Name})
+			return true
+		})
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || !isSortCall(cx, call) {
+			return true
+		}
+		for _, s := range sites {
+			if exprUsesAny(cx, call.Args, map[types.Object]bool{s.obj: true}) {
+				sorted[s.obj] = true
+			}
+		}
+		return true
+	})
+	for _, s := range sites {
+		if !sorted[s.obj] {
+			cx.report(s.pos.Pos(),
+				"map iteration order collected into %s with no sort before use: sort it in this function or build it from a deterministic source", s.slice)
+		}
+	}
+}
+
+// isSortCall recognizes sort.X / slices.Sort* calls and local helpers
+// whose name mentions sort (sortDiags, sortKeys, ...).
+func isSortCall(cx *passCtx, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := cx.p.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+				return true
+			}
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}
+
+// exprUsesAny reports whether any expression's subtree references one
+// of the given objects.
+func exprUsesAny(cx *passCtx, exprs []ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	for _, e := range exprs {
+		ast.Inspect(e, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := cx.p.Info.Uses[id]; obj != nil && objs[obj] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,51 @@
+package main
+
+// passOKSuppress audits the //magevet:ok inventory itself: a marker is
+// stale when no enabled suppressible check fires on the one line it
+// guards (its own for a trailing marker, the line below for a
+// standalone comment line). Stale markers are
+// worse than dead weight — they read as a standing safety argument for
+// code that no longer exists, and they silently swallow the next real
+// finding that lands on their line. Not node-driven: it runs after all
+// other passes over the raw (pre-suppression) diagnostics.
+var passOKSuppress = &pass{
+	name:        "oksuppress",
+	doc:         "//magevet:ok markers that no longer guard any finding",
+	bug:         "PR 5 aftermath: memnode test-file suppressions outliving the v1 protocol they audited",
+	defaultOn:   true,
+	bypassAllow: true,
+}
+
+// runOKSuppress returns one diagnostic per stale marker. It must see
+// the raw diagnostics of every suppressible pass (coversSuppressible),
+// otherwise staleness cannot be decided and the caller skips the audit.
+func runOKSuppress(a *analyzer) []diagnostic {
+	bypass := make(map[string]bool)
+	for _, p := range registry {
+		if p.bypassAllow {
+			bypass[p.name] = true
+		}
+	}
+	guarded := make(map[string]map[int]bool)
+	for _, d := range a.diags {
+		if bypass[d.check] {
+			continue
+		}
+		if guarded[d.pos.Filename] == nil {
+			guarded[d.pos.Filename] = make(map[int]bool)
+		}
+		guarded[d.pos.Filename][d.pos.Line] = true
+	}
+	var out []diagnostic
+	for _, e := range a.allows {
+		if guarded[e.pos.Filename][e.guard] {
+			continue
+		}
+		msg := "stale magevet:ok: no enabled check fires on the line it guards — delete the marker or restore the guarded code"
+		if e.inTest {
+			msg = "stale magevet:ok in a test file: magevet does not analyze test code, so the marker guards nothing — delete it"
+		}
+		out = append(out, diagnostic{pos: e.pos, check: passOKSuppress.name, msg: msg})
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var passOverflowCmp = &pass{
+	name:      "overflowcmp",
+	doc:       "a+b > c bounds comparisons whose sum can wrap past the check",
+	bug:       "PR 5: regionAt/regionForBatch accepted off+len that wrapped negative near MaxInt64, passed validation, and killed the server in chunkedCopy",
+	defaultOn: true,
+	applies:   appliesInternal,
+	inspect:   overflowCmpInspect,
+}
+
+// overflowCmpInspect flags order comparisons where one side is an
+// integer addition: for attacker- or wire-controlled sizes and offsets,
+// a+b > c silently wraps when a+b exceeds the integer range, so the
+// out-of-bounds value passes the check. The overflow-safe form keeps
+// the arithmetic on the known-small side: a > c-b (after checking
+// b <= c). Sums the compiler constant-folds are exempt — constant
+// overflow is a compile error.
+func overflowCmpInspect(cx *passCtx, n ast.Node) {
+	e, ok := n.(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	switch e.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return
+	}
+	for _, side := range [...]ast.Expr{e.X, e.Y} {
+		sum, ok := ast.Unparen(side).(*ast.BinaryExpr)
+		if !ok || sum.Op != token.ADD {
+			continue
+		}
+		tv, ok := cx.p.Info.Types[sum]
+		if !ok || tv.Type == nil || tv.Value != nil {
+			continue
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsInteger == 0 {
+			continue
+		}
+		cx.report(sum.Pos(),
+			"%s can wrap and defeat this bounds check: compare the overflow-safe subtracted form instead (a > c-b after bounding b)",
+			types.ExprString(sum))
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var passRangeMap = &pass{
+	name:      "rangemap",
+	doc:       "range over a map inside an internal package",
+	bug:       "pre-seed: map-iteration order leaking into experiment digests",
+	defaultOn: true,
+	applies:   appliesInternal,
+	inspect:   rangeMapInspect,
+}
+
+// rangeMapInspect flags range statements whose operand is a map: the
+// iteration order is randomized per run and leaks nondeterminism into
+// any state it touches.
+func rangeMapInspect(cx *passCtx, n ast.Node) {
+	rs, ok := n.(*ast.RangeStmt)
+	if !ok {
+		return
+	}
+	tv, ok := cx.p.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+		cx.report(rs.Pos(),
+			"range over map %s: iteration order is nondeterministic", types.ExprString(rs.X))
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+var passSyncImport = &pass{
+	name:      "syncimport",
+	doc:       "sync / sync/atomic imports outside the host-concurrency allowance",
+	bug:       "pre-seed: host locks hiding scheduling nondeterminism in DES code",
+	defaultOn: true,
+	applies:   appliesConcurrencyBan,
+	inspect:   syncImportInspect,
+}
+
+// syncImportInspect flags host synchronization imports inside internal
+// packages: in the DES core exactly one process runs at a time by
+// construction, and elsewhere parallelism belongs behind internal/parexp.
+func syncImportInspect(cx *passCtx, n ast.Node) {
+	spec, ok := n.(*ast.ImportSpec)
+	if !ok {
+		return
+	}
+	path, err := strconv.Unquote(spec.Path.Value)
+	if err != nil {
+		return
+	}
+	if path != "sync" && path != "sync/atomic" {
+		return
+	}
+	if cx.scope.isDES {
+		cx.report(spec.Pos(),
+			"import %q in DES package %s: virtual-time code needs no host synchronization", path, cx.scope.rel)
+	} else {
+		cx.report(spec.Pos(),
+			"import %q in internal package %s: host synchronization is confined to internal/parexp", path, cx.scope.rel)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var passWallClock = &pass{
+	name:      "wallclock",
+	doc:       "time.Now / time.Since / ... anywhere under internal/",
+	bug:       "pre-seed: host-clock reads making runs non-reproducible",
+	defaultOn: true,
+	applies:   appliesInternal,
+	inspect:   wallClockInspect,
+}
+
+// wallClockFuncs are the time-package calls that read or depend on the
+// host clock; simulation code must use sim.Time exclusively.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func wallClockInspect(cx *passCtx, n ast.Node) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if pkg, name := calleePkgFunc(cx.p, call); pkg == "time" && wallClockFuncs[name] {
+		cx.report(call.Pos(),
+			"time.%s reads the host clock: simulation code must use virtual time (sim.Time)", name)
+	}
+}
+
+// calleePkgFunc resolves a pkg.Func or pkgname-qualified selector call
+// to its package path and function name; empty strings if the callee is
+// not a package-qualified selector.
+func calleePkgFunc(p *pkgInfo, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := p.Info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

@@ -13,4 +13,15 @@ func main() {
 	for k, v := range map[string]int{"a": 1} {
 		fmt.Println(k, v)
 	}
+	fmt.Println(names(map[string]int{"a": 1}))
+}
+
+// names shows the one determinism rule that does follow code out of
+// internal/: an unsorted map drain still reaches stdout.
+func names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want mapdrain
+	}
+	return out
 }

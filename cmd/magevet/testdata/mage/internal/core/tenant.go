@@ -18,21 +18,22 @@ type Node struct {
 	byName  map[string]*Tenant
 }
 
-// VictimScan walks a tenant's resident map directly — flagged: map order
-// would pick different victims per run.
+// VictimScan walks a tenant's resident map directly — flagged twice:
+// rangemap on the iteration, mapdrain on the unsorted collection.
 func (n *Node) VictimScan(t *Tenant) []uint64 {
 	var out []uint64
 	for pg := range t.pages { // want rangemap
-		out = append(out, pg)
+		out = append(out, pg) // want mapdrain
 	}
 	return out
 }
 
-// LookupAll walks the tenant name index — flagged.
+// LookupAll walks the tenant name index — flagged on both the range
+// and the order-accumulating append.
 func (n *Node) LookupAll() []*Tenant {
 	var out []*Tenant
 	for _, t := range n.byName { // want rangemap
-		out = append(out, t)
+		out = append(out, t) // want mapdrain
 	}
 	return out
 }

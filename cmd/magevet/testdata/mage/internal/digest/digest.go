@@ -1,0 +1,41 @@
+// Package digest is a magevet fixture for mapdrain and its interplay
+// with rangemap suppressions: "keys are sorted below" is a promise a
+// marker makes, and mapdrain mechanically verifies it — reporting at
+// the append site, a different line from the suppressed range, so the
+// marker cannot mask a promise that is no longer kept.
+package digest
+
+import "sort"
+
+// Keys drains the map with the promise honored: the rangemap marker is
+// live (it guards a real finding) and the sort is right below.
+func Keys(set map[string]int) []string {
+	var keys []string
+	for k := range set { //magevet:ok keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// BrokenPromise carries the same suppression, but the sort it promised
+// is gone: mapdrain fires at the append site.
+func BrokenPromise(set map[string]int) []string {
+	var keys []string
+	for k := range set { //magevet:ok keys are sorted below
+		keys = append(keys, k) // want mapdrain
+	}
+	return keys
+}
+
+// PerIteration rebuilds the slice inside the range body, so it cannot
+// accumulate iteration order — only the range itself is flagged.
+func PerIteration(set map[string]int) int {
+	n := 0
+	for k := range set { // want rangemap
+		parts := []string{}
+		parts = append(parts, k)
+		n += len(parts)
+	}
+	return n
+}

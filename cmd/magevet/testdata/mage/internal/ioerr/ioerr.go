@@ -1,0 +1,29 @@
+// Package ioerr is a magevet fixture for errdrop: error returns
+// silently discarded in internal packages. The audited escape hatch is
+// an explicit `_ =` — it shows the author saw the error — and writers
+// documented never to fail are exempt.
+package ioerr
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Dump exercises the flagged and exempt forms side by side.
+func Dump(f *os.File, w io.Writer) {
+	f.Close()       // want errdrop
+	defer f.Close() // want errdrop
+
+	_ = f.Close() // explicit discard: audited, clean
+
+	var buf bytes.Buffer
+	buf.WriteString("ok")           // bytes.Buffer writes are error-free
+	fmt.Fprintf(&buf, "n=%d", 1)    // in-memory writer
+	fmt.Println("done")             // stdout diagnostics
+	fmt.Fprintln(os.Stderr, "warn") // process stderr
+	fmt.Fprintln(io.Discard, "no")  // explicit discard sink
+
+	fmt.Fprintln(w, "payload") // want errdrop
+}

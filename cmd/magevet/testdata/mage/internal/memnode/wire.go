@@ -1,0 +1,48 @@
+// Package memnode is a magevet fixture reproducing the shipped PR 5
+// region-bounds bug: off+len computed in int64 wraps negative for off
+// near MaxInt64, sails under the capacity check, and the out-of-range
+// copy kills the server. overflowcmp pins the broken comparison shape;
+// the fixed (subtracted) form below it must stay clean.
+package memnode
+
+const regionBytes = int64(1) << 30
+
+// regionAt is the bug as shipped: when off is near MaxInt64 the sum
+// wraps negative, the check passes, and validation is defeated.
+func regionAt(off, length int64) bool {
+	if off < 0 || length < 0 {
+		return false
+	}
+	if off+length > regionBytes { // want overflowcmp
+		return false
+	}
+	return true
+}
+
+// regionAtFixed is the fix as shipped: bound one operand first, then
+// compare the subtracted form, which cannot wrap.
+func regionAtFixed(off, length int64) bool {
+	if off < 0 || length < 0 || length > regionBytes {
+		return false
+	}
+	return off <= regionBytes-length
+}
+
+// fits shows the unsigned variant: uint16 wire fields wrap modulo
+// 2^16, so the sum can come back small and pass.
+func fits(hdr, payload, max uint16) bool {
+	return hdr+payload <= max // want overflowcmp
+}
+
+// fitsFixed is the clean unsigned form.
+func fitsFixed(hdr, payload, max uint16) bool {
+	return payload <= max && hdr <= max-payload
+}
+
+const hdrBytes, crcBytes = 16, 4
+
+// constSums are exempt: constant overflow is a compile error, not a
+// silent wrap, so a folded sum cannot defeat the check.
+func constSums(n int) bool {
+	return n > hdrBytes+crcBytes
+}

@@ -1,0 +1,91 @@
+// lockscope fixtures, pinned to the PR 5 Client.do bug: the connection
+// lock held across the blocking wire exchange, and the retried call
+// struct mutated in place while a poisoned stream's writer could still
+// read it. parexp holds the host-concurrency allowance, so the lock
+// and channel use themselves are legal — what lockscope polices is
+// what happens while a lock is held.
+package parexp
+
+import (
+	"net"
+	"sync"
+)
+
+type courier struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	resps chan []byte
+}
+
+// exchange holds the lock across the blocking socket write — the shape
+// that serialized every caller behind one slow peer.
+func (c *courier) exchange(buf []byte) {
+	c.mu.Lock()
+	_, _ = c.conn.Write(buf) // want lockscope
+	c.mu.Unlock()
+}
+
+// exchangeFixed snapshots under the lock and touches the wire after
+// releasing it — clean.
+func (c *courier) exchangeFixed(buf []byte) {
+	c.mu.Lock()
+	pending := append([]byte(nil), buf...)
+	c.mu.Unlock()
+	_, _ = c.conn.Write(pending)
+}
+
+// post blocks on a channel send with the lock held via defer.
+func (c *courier) post(b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resps <- b // want lockscope
+}
+
+// take blocks on a channel receive with the lock held via defer.
+func (c *courier) take() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-c.resps // want lockscope
+}
+
+// drain parks on another goroutine's progress while holding the lock.
+func (c *courier) drain(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want lockscope
+	c.mu.Unlock()
+}
+
+// await is clean: sync.Cond.Wait atomically releases the mutex it
+// waits under — holding that lock is its contract, not a bug.
+func (c *courier) await(cond *sync.Cond) {
+	cond.L.Lock()
+	for c.resps == nil {
+		cond.Wait()
+	}
+	cond.L.Unlock()
+}
+
+type call struct {
+	seq  uint64
+	done chan error
+}
+
+// redo reproduces the retry hazard: req is handed to a consumer inside
+// the loop, then mutated in place for the next attempt while the
+// previous consumer may still be reading it.
+func (c *courier) redo(reqs chan<- *call, attempts int) {
+	req := &call{done: make(chan error, 1)}
+	for i := 0; i < attempts; i++ {
+		reqs <- req
+		req.seq++ // want lockscope
+	}
+}
+
+// redoFixed makes the per-iteration copy: each attempt hands off a
+// fresh value, so no consumer ever sees a later attempt's mutation.
+func (c *courier) redoFixed(reqs chan<- *call, attempts int) {
+	for i := 0; i < attempts; i++ {
+		req := &call{seq: uint64(i), done: make(chan error, 1)}
+		reqs <- req
+	}
+}

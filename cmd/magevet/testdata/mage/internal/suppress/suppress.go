@@ -1,0 +1,20 @@
+// Package suppress is a magevet fixture for oksuppress: the pass that
+// audits the //magevet:ok inventory itself. A marker is live only
+// while a suppressible check still fires on its line (or the line
+// below); a marker that outlives its finding is reported and cannot be
+// silenced by another marker.
+package suppress
+
+import "time"
+
+// Epoch carries a live, audited wall-clock read: the marker guards a
+// real finding, so neither wallclock nor oksuppress fires.
+func Epoch() int64 {
+	return time.Now().UnixNano() //magevet:ok fixture: audited host-clock read
+}
+
+// Stale keeps a marker whose guarded finding has been edited away —
+// the marker itself is now the finding.
+func Stale() int64 {
+	return 42 //magevet:ok the wall-clock read here was removed // want oksuppress
+}

@@ -1,0 +1,12 @@
+package suppress
+
+import "testing"
+
+// Markers in test files are always stale: magevet never analyzes test
+// code, so they guard nothing and only train readers to ignore the
+// marker.
+func TestEpoch(t *testing.T) {
+	if Epoch() == 0 { //magevet:ok wall-clock in a test // want oksuppress
+		t.Fatal("zero epoch")
+	}
+}

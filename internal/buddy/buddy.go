@@ -137,7 +137,9 @@ func (a *Allocator) Free(blk Frame) {
 	a.freeCount += 1 << order
 	for order < MaxOrder {
 		buddyBlk := blk ^ Frame(1<<order)
-		if int(buddyBlk)+(1<<order) > a.numFrames {
+		// Overflow-safe form of buddyBlk+(1<<order) > numFrames: a
+		// negative right side means the block cannot fit at all.
+		if int(buddyBlk) > a.numFrames-(1<<order) {
 			break
 		}
 		if _, free := a.freeSet[order][buddyBlk]; !free {

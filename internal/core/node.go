@@ -324,7 +324,9 @@ func (n *Node) checkAccounting() {
 	}
 	invariant.Assert(resident <= n.Cfg.LocalMemPages,
 		"core: %d resident pages exceed %d local frames", resident, n.Cfg.LocalMemPages)
-	invariant.Assert(n.Alloc.FreeFrames()+resident <= n.Cfg.LocalMemPages,
+	// Overflow-safe form of free+resident <= total: resident <= total
+	// was asserted just above, so the subtraction cannot wrap.
+	invariant.Assert(n.Alloc.FreeFrames() <= n.Cfg.LocalMemPages-resident,
 		"core: free %d + resident %d exceed %d local frames",
 		n.Alloc.FreeFrames(), resident, n.Cfg.LocalMemPages)
 	if n.Acct != nil {

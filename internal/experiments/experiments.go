@@ -48,9 +48,11 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// Print renders the table with aligned columns.
+// Print renders the table with aligned columns. Write errors are
+// discarded: the only callers print to stdout, where a failure has no
+// useful recovery.
 func (t *Table) Print(w io.Writer) {
-	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	_, _ = fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
 		widths[i] = len(h)
@@ -70,16 +72,16 @@ func (t *Table) Print(w io.Writer) {
 			}
 			fmt.Fprintf(&b, "%-*s", widths[i], c)
 		}
-		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		_, _ = fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
 	}
 	line(t.Header)
 	for _, r := range t.Rows {
 		line(r)
 	}
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "note: %s\n", n)
+		_, _ = fmt.Fprintf(w, "note: %s\n", n)
 	}
-	fmt.Fprintln(w)
+	_, _ = fmt.Fprintln(w)
 }
 
 // Scale bundles workload sizes and sweep granularity so the same

@@ -10,7 +10,7 @@ import (
 	"runtime"
 	"sync"        //magevet:ok memnode is a real TCP client, not virtual-time simulation code
 	"sync/atomic" //magevet:ok lock-free robustness counters keep Metrics off the data path
-	"time"        //magevet:ok real network deadlines and backoff need wall-clock time
+	"time"
 )
 
 // Options tunes the client's robustness behavior: connection and per-op
@@ -151,12 +151,12 @@ type stream struct {
 	conn net.Conn
 	v1   bool
 
-	v1mu sync.Mutex //magevet:ok real TCP client: serializes stop-and-wait exchanges on a v1 connection
+	v1mu sync.Mutex // serializes stop-and-wait exchanges on a v1 connection
 
 	sendq chan *call
 	dead  chan struct{}
 
-	pmu     sync.Mutex //magevet:ok real TCP client: guards the pending-call table shared by writer/reader goroutines
+	pmu     sync.Mutex // guards the pending-call table shared by writer/reader goroutines
 	pending map[uint64]*call
 	err     error
 	idSrc   uint64 // last request ID issued; under pmu
@@ -199,7 +199,7 @@ func (s *stream) fail(err error) {
 	s.pending = nil
 	close(s.dead)
 	s.pmu.Unlock()
-	s.conn.Close()
+	_ = s.conn.Close() // the stream is already poisoned; nothing to salvage
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		s.c.timeouts.Add(1)
@@ -273,7 +273,7 @@ func (s *stream) writeLoop() {
 					batch = append(batch, <-s.sendq)
 				}
 				if round == 0 && len(batch) < writeBatch {
-					runtime.Gosched() //magevet:ok micro-batching yield on a real TCP client's writer goroutine
+					runtime.Gosched() // micro-batching yield on the writer goroutine
 				}
 			}
 			iov = iov[:0]
@@ -288,7 +288,9 @@ func (s *stream) writeLoop() {
 				iov = append(iov, b.bufs...)
 			}
 			last := batch[len(batch)-1].deadline
-			s.conn.SetWriteDeadline(last)
+			// A failed deadline set surfaces as an error on the very
+			// next WriteTo, which poisons the stream.
+			_ = s.conn.SetWriteDeadline(last)
 			if _, err := iov.WriteTo(s.conn); err != nil {
 				s.fail(err)
 				return
@@ -301,7 +303,9 @@ func (s *stream) writeLoop() {
 			// with a live deadline that later poisons the stream.
 			s.pmu.Lock()
 			if len(s.pending) > 0 {
-				s.conn.SetReadDeadline(last)
+				// Failure surfaces on the reader's next blocking Read,
+				// which poisons the stream.
+				_ = s.conn.SetReadDeadline(last)
 			}
 			s.pmu.Unlock()
 		case <-s.dead:
@@ -360,7 +364,7 @@ func (s *stream) readLoop() {
 			// under pmu: a new call inserts itself into pending before
 			// its batch arms the deadline, so this clear can never strip
 			// the deadline from a live request.
-			s.conn.SetReadDeadline(time.Time{})
+			_ = s.conn.SetReadDeadline(time.Time{}) // failure surfaces on the next Read
 		}
 		s.pmu.Unlock()
 		switch status {
@@ -400,11 +404,13 @@ func (s *stream) execV1(ca *call) ([]byte, error) {
 	binary.LittleEndian.PutUint64(hdr[9:], uint64(ca.offset))
 	binary.LittleEndian.PutUint64(hdr[17:], uint64(ca.length))
 	iov := append(net.Buffers{hdr[:]}, ca.bufs...)
+	//magevet:ok v1 is stop-and-wait by design: v1mu held across the exchange IS the depth-1 pipeline
 	if _, err := iov.WriteTo(s.conn); err != nil {
 		s.fail(err)
 		return nil, err
 	}
 	var rhdr [v1RespHdrLen]byte
+	//magevet:ok v1 stop-and-wait response read; see the WriteTo above
 	if _, err := io.ReadFull(s.conn, rhdr[:]); err != nil {
 		s.fail(err)
 		return nil, err
@@ -418,6 +424,7 @@ func (s *stream) execV1(ca *call) ([]byte, error) {
 	var body []byte
 	if n > 0 {
 		body = getBuf(int(n))
+		//magevet:ok v1 stop-and-wait body read; see the WriteTo above
 		if _, err := io.ReadFull(s.conn, body); err != nil {
 			PutBuf(body)
 			s.fail(err)
@@ -453,7 +460,7 @@ type Client struct {
 
 	// mu guards connection lifecycle only; it is never held across
 	// network IO, so Close and Metrics stay live behind a stalled op.
-	mu      sync.Mutex //magevet:ok real TCP client connection-lifecycle lock, never held across IO
+	mu      sync.Mutex
 	cond    *sync.Cond
 	cur     *stream
 	raw     net.Conn // eagerly dialed, negotiation deferred to first op
@@ -463,7 +470,7 @@ type Client struct {
 
 	closedCh chan struct{}
 
-	regMu   sync.Mutex //magevet:ok real TCP client: guards the stable-handle region table
+	regMu   sync.Mutex // guards the stable-handle region table
 	regions map[uint64]*region
 
 	// window is the in-flight semaphore: one slot per operation from
@@ -628,7 +635,7 @@ func (c *Client) getStream() (*stream, error) {
 			if st != nil {
 				st.fail(ErrClosed)
 			} else if err == nil && conn != nil {
-				conn.Close()
+				_ = conn.Close() // client is closing; best-effort teardown
 			}
 			return nil, ErrClosed
 		}
@@ -653,7 +660,7 @@ func (c *Client) negotiate(conn net.Conn) (*stream, error) {
 		return newStream(c, conn, true), nil
 	}
 	if err := conn.SetDeadline(time.Now().Add(c.opts.IOTimeout)); err != nil { //magevet:ok per-op network deadline
-		conn.Close()
+		_ = conn.Close() // already failing; the dial error wins
 		return nil, err
 	}
 	var hdr [v1ReqHdrLen]byte
@@ -661,37 +668,40 @@ func (c *Client) negotiate(conn net.Conn) (*stream, error) {
 	binary.LittleEndian.PutUint64(hdr[1:], helloMagic)
 	binary.LittleEndian.PutUint64(hdr[9:], protoV2)
 	if _, err := conn.Write(hdr[:]); err != nil {
-		conn.Close()
+		_ = conn.Close() // already failing; the write error wins
 		return nil, err
 	}
 	var rhdr [v1RespHdrLen]byte
 	if _, err := io.ReadFull(conn, rhdr[:]); err != nil {
-		conn.Close()
+		_ = conn.Close() // already failing; the read error wins
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint64(rhdr[1:])
 	if n > 4096 {
-		conn.Close()
+		_ = conn.Close() // already failing; the protocol error wins
 		return nil, fmt.Errorf("memnode: oversized hello response %d", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(conn, body); err != nil {
-		conn.Close()
+		_ = conn.Close() // already failing; the read error wins
 		return nil, err
 	}
 	if rhdr[0] == statusOK {
 		if len(body) >= helloRespLen &&
 			binary.LittleEndian.Uint64(body) == helloMagic &&
 			binary.LittleEndian.Uint64(body[8:]) >= protoV2 {
-			conn.SetDeadline(time.Time{}) // the stream manages deadlines from here
+			// The stream manages deadlines from here; a failed clear
+			// surfaces as a spurious timeout the retry path absorbs.
+			_ = conn.SetDeadline(time.Time{})
 			return newStream(c, conn, false), nil
 		}
-		conn.Close()
+		_ = conn.Close() // already failing; the protocol error wins
 		return nil, errors.New("memnode: malformed hello response")
 	}
 	// The server rejected the probe as a bad opcode: it speaks v1 only,
-	// and its connection is still healthy.
-	conn.SetDeadline(time.Time{})
+	// and its connection is still healthy. A failed deadline clear
+	// surfaces as a spurious timeout the retry path absorbs.
+	_ = conn.SetDeadline(time.Time{})
 	c.v1Fallbacks.Add(1)
 	return newStream(c, conn, true), nil
 }

@@ -9,7 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
-	"time" //magevet:ok tests of the real TCP service need wall-clock timeouts
+	"time" // tests of the real TCP service need wall-clock timeouts
 )
 
 // fastOpts keeps the retry loop snappy under test.
@@ -160,14 +160,14 @@ func TestClientSurvivesServerRestart(t *testing.T) {
 	restarted := make(chan struct{})
 	go func() {
 		defer close(restarted)
-		time.Sleep(150 * time.Millisecond) //magevet:ok simulating a real node restart window
+		time.Sleep(150 * time.Millisecond) // simulating a real node restart window
 		for i := 0; i < 100; i++ {
 			s, err := NewServer(addr, 64<<20)
 			if err == nil {
 				srv2 = s
 				return
 			}
-			time.Sleep(20 * time.Millisecond) //magevet:ok waiting for the OS to release the port
+			time.Sleep(20 * time.Millisecond) // waiting for the OS to release the port
 		}
 	}()
 
@@ -314,7 +314,7 @@ func TestServerChaos(t *testing.T) {
 				hdr[0] = 0xEE
 				conn.Write(hdr)
 				io := make([]byte, 9)
-				conn.SetReadDeadline(time.Now().Add(time.Second)) //magevet:ok bounding a chaos-test read
+				conn.SetReadDeadline(time.Now().Add(time.Second)) // bounding a chaos-test read
 				conn.Read(io)
 			case 3: // connect and immediately hang up
 			}
@@ -327,15 +327,15 @@ func TestServerChaos(t *testing.T) {
 	}
 	// Handler goroutines must drain. Close waits for them, but give the
 	// runtime a moment to actually retire the stacks before counting.
-	deadline := time.Now().Add(2 * time.Second) //magevet:ok goroutine-leak check needs wall time
+	deadline := time.Now().Add(2 * time.Second) // goroutine-leak check needs wall time
 	for {
 		if runtime.NumGoroutine() <= baseline+2 {
 			break
 		}
-		if time.Now().After(deadline) { //magevet:ok goroutine-leak check needs wall time
+		if time.Now().After(deadline) { // goroutine-leak check needs wall time
 			t.Fatalf("goroutine leak: baseline %d, now %d", baseline, runtime.NumGoroutine())
 		}
-		time.Sleep(10 * time.Millisecond) //magevet:ok polling for goroutine exit in a real-time test
+		time.Sleep(10 * time.Millisecond) // polling for goroutine exit in a real-time test
 	}
 }
 
@@ -356,7 +356,7 @@ func TestCloseUnblocksIdleHandlers(t *testing.T) {
 		// Nudge the server so the accept definitely happened.
 		conn.Write([]byte{})
 	}
-	time.Sleep(50 * time.Millisecond) //magevet:ok let the accepts land before closing
+	time.Sleep(50 * time.Millisecond) // let the accepts land before closing
 	done := make(chan error, 1)
 	go func() { done <- srv.Close() }()
 	select {
@@ -364,7 +364,7 @@ func TestCloseUnblocksIdleHandlers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-	case <-time.After(3 * time.Second): //magevet:ok bounding the Close-hangs failure mode
+	case <-time.After(3 * time.Second): // bounding the Close-hangs failure mode
 		t.Fatal("Close hung on idle connections")
 	}
 }

@@ -154,7 +154,7 @@ func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.mu.Lock()
 	for conn := range s.conns { //magevet:ok close-all: each conn is closed exactly once, order cannot matter
-		conn.Close()
+		_ = conn.Close() // the listener Close error above is the one worth returning
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -171,7 +171,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed.Load() {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // server is closing; best-effort teardown
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -181,7 +181,7 @@ func (s *Server) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			defer func() {
-				conn.Close()
+				_ = conn.Close() // handler is done; best-effort teardown
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()
@@ -281,13 +281,14 @@ var errUnknownRegion = errors.New("unknown region")
 // code and message. Shared by the v1 and v2 paths.
 func (s *Server) doRegister(size int64) ([]byte, byte, string) {
 	// Bounds-check before any allocation: size is attacker-controlled
-	// wire input, and size > capacity also rules out the used+size
-	// overflow a huge value could otherwise trigger.
+	// wire input.
 	if size <= 0 || size > s.capacity {
 		return nil, statusErr, fmt.Sprintf("register: bad size %d (capacity %d)", size, s.capacity)
 	}
 	s.mu.Lock()
-	if s.used+size > s.capacity {
+	// Overflow-safe form of used+size > capacity: used stays within
+	// [0, capacity], so the subtraction cannot wrap.
+	if size > s.capacity-s.used {
 		s.mu.Unlock()
 		return nil, statusErr, "register: capacity exhausted"
 	}
@@ -622,7 +623,7 @@ func (s *Server) serveV2(conn net.Conn, br *bufio.Reader) {
 					batch = append(batch, <-resps)
 				}
 				if round == 0 && len(batch) < writeBatch {
-					runtime.Gosched() //magevet:ok micro-batching yield on the response-writer goroutine of a real TCP daemon
+					runtime.Gosched() // micro-batching yield on the response-writer goroutine
 				}
 			}
 			if werr == nil {

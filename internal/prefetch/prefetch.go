@@ -60,10 +60,10 @@ func NewMajority(window, degree int, limit uint64) *Majority {
 // the window's strides.
 func (m *Majority) OnFault(page uint64) []uint64 {
 	m.hist = append(m.hist, page)
-	if len(m.hist) > m.Window+1 {
+	if len(m.hist)-1 > m.Window {
 		m.hist = m.hist[1:]
 	}
-	if len(m.hist) < m.Window+1 {
+	if len(m.hist)-1 < m.Window {
 		return nil
 	}
 	// Boyer-Moore majority candidate over strides.
@@ -139,10 +139,10 @@ func NewStride(matchLen, maxDegree int, limit uint64) *Stride {
 // OnFault implements Detector.
 func (s *Stride) OnFault(page uint64) []uint64 {
 	s.hist = append(s.hist, page)
-	if len(s.hist) > s.MatchLen+1 {
+	if len(s.hist)-1 > s.MatchLen {
 		s.hist = s.hist[1:]
 	}
-	if len(s.hist) < s.MatchLen+1 {
+	if len(s.hist)-1 < s.MatchLen {
 		return nil
 	}
 	stride := int64(s.hist[1]) - int64(s.hist[0])

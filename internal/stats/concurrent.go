@@ -17,7 +17,7 @@ func (h *Histogram) Clone() *Histogram {
 // goroutines at once. Simulation code must keep using the plain
 // (deterministic, single-threaded) Histogram.
 type ConcurrentHistogram struct {
-	mu sync.Mutex //magevet:ok guards a histogram shared by real benchmark goroutines
+	mu sync.Mutex // guards a histogram shared by real benchmark goroutines
 	h  Histogram
 }
 

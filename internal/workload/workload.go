@@ -44,7 +44,9 @@ type region struct {
 // page maps a byte offset within the region to its page number.
 func (r region) page(off int64) uint64 {
 	pg := r.base + uint64(off)/PageBytes
-	if pg >= r.base+r.pages {
+	// Overflow-safe form of pg >= base+pages: pg >= base by
+	// construction, so the subtraction cannot wrap.
+	if pg-r.base >= r.pages {
 		pg = r.base + r.pages - 1
 	}
 	return pg
