@@ -39,15 +39,19 @@ lint: fmtcheck vet magevet
 
 # Benchmark snapshot: engine dispatch + figure regeneration + the fault
 # pipeline with and without injected faults + the memnode wire protocol
-# (stop-and-wait roundtrip and depth-32 pipeline), recorded as JSON
-# (name, ns/op, reported metrics such as events/s, retries/op, pages/s,
-# p99-us, allocs/op) for diffing across commits — robustness regressions
-# show up next to perf ones. -require makes the snapshot fail loudly if
-# a pinned memnode metric stops being reported.
+# (stop-and-wait roundtrip, depth-32 TCP pipeline, and the depth-32
+# shared-memory ring), recorded as JSON (name, ns/op, reported metrics
+# such as events/s, retries/op, pages/s, p99-us, allocs/op) for diffing
+# across commits — robustness regressions show up next to perf ones.
+# -require makes the snapshot fail loudly if a pinned memnode metric
+# stops being reported; the shm pins hold the kernel-copy-wall numbers
+# (pages/s, p99, allocs/op on the shm data plane) in every snapshot.
+# On platforms without the shm transport BenchmarkMemnodeShmPipeline
+# skips, so the shm pins would fail: bench is a Linux target.
 bench:
-	$(GO) test -run '^$$' -benchmem -bench 'BenchmarkEngineDispatch|BenchmarkParexpFigures|BenchmarkFaultPathMageLib|BenchmarkFaultToleranceMageLib|BenchmarkColocateNode|BenchmarkMemnodePipeline|BenchmarkServerRoundtrip' ./... \
+	$(GO) test -run '^$$' -benchmem -bench 'BenchmarkEngineDispatch|BenchmarkParexpFigures|BenchmarkFaultPathMageLib|BenchmarkFaultToleranceMageLib|BenchmarkColocateNode|BenchmarkMemnodePipeline|BenchmarkMemnodeShmPipeline|BenchmarkServerRoundtrip' ./... \
 		| tee /dev/stderr | $(GO) run ./cmd/benchsnap \
-			-require 'BenchmarkMemnodePipeline:pages/s,BenchmarkMemnodePipeline:p99-us,BenchmarkServerRoundtrip:allocs/op' \
+			-require 'BenchmarkMemnodePipeline:pages/s,BenchmarkMemnodePipeline:p99-us,BenchmarkServerRoundtrip:allocs/op,BenchmarkMemnodeShmPipeline:pages/s,BenchmarkMemnodeShmPipeline:p99-us,BenchmarkMemnodeShmPipeline:allocs/op' \
 			> BENCH_$(BENCH_DATE).json
 
 # Coverage floor for internal/core, set just under the level the

@@ -1,17 +1,21 @@
-// Command memnode-bench load-tests a far-memory node daemon over real
-// TCP: it registers a region, then drives one-sided page reads and
-// writes through the pipelined v2 client, reporting throughput and
-// latency percentiles — the network-substrate counterpart of the
-// simulated NIC benchmarks.
+// Command memnode-bench load-tests a far-memory node daemon: it
+// registers a region, then drives one-sided page reads and writes
+// through the pipelined client, reporting throughput and latency
+// percentiles — the network-substrate counterpart of the simulated NIC
+// benchmarks.
 //
 // -depth controls how many requests each connection keeps in flight
 // (depth 1 degenerates to the old stop-and-wait behavior); -batch > 1
-// moves batches of pages per verb via READV/WRITEV. The ISSUE's
-// headline number is the -depth 32 vs -depth 1 throughput ratio on a
-// single connection:
+// moves batches of pages per verb via READV/WRITEV. -transport selects
+// the data plane: tcp pins the v2 TCP protocol, shm requires the
+// shared-memory ring transport (the server must offer it: -spawn does,
+// and `memnode -transport shm` does), auto negotiates shm with
+// transparent TCP fallback. -compare runs the identical workload over
+// both transports in one invocation and prints them side by side with
+// the shm:tcp throughput ratio. The ISSUE's headline number is that
+// ratio at depth 32 on a single connection:
 //
-//	memnode-bench -spawn -workers 1 -depth 1
-//	memnode-bench -spawn -workers 1 -depth 32
+//	memnode-bench -spawn -workers 1 -depth 32 -compare
 //
 // Usage:
 //
@@ -26,6 +30,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +41,7 @@ import (
 )
 
 type report struct {
+	Transport   string  `json:"transport"`
 	Workers     int     `json:"workers"`
 	Depth       int     `json:"depth"`
 	Batch       int     `json:"batch"`
@@ -46,10 +53,22 @@ type report struct {
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	PagesPerSec float64 `json:"pages_per_sec"`
 	MiBPerSec   float64 `json:"mib_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 	P50Us       float64 `json:"p50_us"`
 	P90Us       float64 `json:"p90_us"`
 	P99Us       float64 `json:"p99_us"`
 	MaxUs       float64 `json:"max_us"`
+}
+
+type config struct {
+	workers   int
+	depth     int
+	batch     int
+	ops       int
+	writeFrac float64
+	regionMB  int64
+	pageBytes int64
+	seed      int64
 }
 
 func main() {
@@ -64,16 +83,48 @@ func main() {
 		writeFrac = flag.Float64("write-frac", 0.2, "fraction of writes")
 		pageBytes = flag.Int64("page-bytes", 4096, "transfer size per page")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		transport = flag.String("transport", "auto", "data plane: tcp, shm, or auto (shm with TCP fallback)")
+		compare   = flag.Bool("compare", false, "run the workload over tcp and shm and report both with the ratio")
 		jsonOut   = flag.Bool("json", false, "emit a single JSON report on stdout")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("memnode-bench: cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("memnode-bench: cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if *depth < 1 || *batch < 1 {
 		log.Fatal("memnode-bench: -depth and -batch must be >= 1")
+	}
+	var mode int
+	switch *transport {
+	case "tcp":
+		mode = memnode.TransportTCP
+	case "shm":
+		mode = memnode.TransportShm
+	case "auto":
+		mode = memnode.TransportAuto
+	default:
+		log.Fatalf("memnode-bench: -transport must be tcp, shm, or auto, got %q", *transport)
 	}
 
 	target := *addr
 	if *spawn {
-		srv, err := memnode.NewServer("127.0.0.1:0", (*regionMB+64)<<20)
+		capMB := *regionMB + 64
+		if *compare {
+			// Each compare leg registers its own region; regions outlive
+			// the leg's connections, so the node must hold both at once.
+			capMB += *regionMB
+		}
+		srv, err := memnode.NewServerOptions("127.0.0.1:0", capMB<<20, memnode.ServerOptions{
+			EnableShm: *compare || mode != memnode.TransportTCP,
+		})
 		if err != nil {
 			log.Fatalf("memnode-bench: spawn: %v", err)
 		}
@@ -84,33 +135,119 @@ func main() {
 		}
 	}
 
-	opts := memnode.DefaultOptions()
-	if opts.Window < *depth {
-		opts.Window = *depth
+	cfg := config{
+		workers: *workers, depth: *depth, batch: *batch, ops: *ops,
+		writeFrac: *writeFrac, regionMB: *regionMB, pageBytes: *pageBytes, seed: *seed,
 	}
-	setup, err := memnode.DialOptions(target, opts)
+
+	if *compare {
+		runCompare(target, cfg, *jsonOut)
+		return
+	}
+
+	r, err := runLoad(target, mode, cfg)
 	if err != nil {
 		log.Fatalf("memnode-bench: %v", err)
 	}
-	defer setup.Close()
-	region, err := setup.Register(*regionMB << 20)
-	if err != nil {
-		log.Fatalf("memnode-bench: register: %v", err)
+	if *jsonOut {
+		emitJSON(r)
+		return
 	}
-	pages := (*regionMB << 20) / *pageBytes
+	printReport(r)
+}
+
+// runCompare runs the identical workload over TCP then shm and prints
+// both reports with the shm:tcp pages/s ratio — the PR's headline
+// metric in one command.
+func runCompare(target string, cfg config, jsonOut bool) {
+	tcp, err := runLoad(target, memnode.TransportTCP, cfg)
+	if err != nil {
+		log.Fatalf("memnode-bench: tcp leg: %v", err)
+	}
+	shm, err := runLoad(target, memnode.TransportShm, cfg)
+	if err != nil {
+		log.Fatalf("memnode-bench: shm leg: %v (does the server offer shm? -spawn does, `memnode -transport shm` does)", err)
+	}
+	ratio := shm.PagesPerSec / tcp.PagesPerSec
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			TCP   report  `json:"tcp"`
+			Shm   report  `json:"shm"`
+			Ratio float64 `json:"shm_over_tcp"`
+		}{tcp, shm, ratio}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("%-10s %12s %10s %10s %11s\n", "transport", "pages/s", "p50(us)", "p99(us)", "allocs/op")
+	for _, r := range []report{tcp, shm} {
+		fmt.Printf("%-10s %12.0f %10.1f %10.1f %11.1f\n", r.Transport, r.PagesPerSec, r.P50Us, r.P99Us, r.AllocsPerOp)
+	}
+	fmt.Printf("shm/tcp:   %.2fx pages/s\n", ratio)
+}
+
+// prewarm writes every byte of the freshly registered region once,
+// outside the timed window, so the measurement sees steady state
+// instead of the kernel's first-touch page faults. Without this the
+// early writes of each run fault in the region's backing pages — a
+// fixed per-page cost that lands on whichever leg runs first and
+// weighs more against a faster transport.
+func prewarm(c *memnode.Client, region uint64, size int64) error {
+	const chunk = 4 << 20
+	buf := make([]byte, chunk)
+	for off := int64(0); off < size; off += chunk {
+		n := int64(chunk)
+		if size-off < n {
+			n = size - off
+		}
+		if err := c.Write(region, off, buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runLoad drives one full workload over the given transport and
+// returns its report.
+func runLoad(target string, mode int, cfg config) (report, error) {
+	opts := memnode.DefaultOptions()
+	opts.Transport = mode
+	if opts.Window < cfg.depth {
+		opts.Window = cfg.depth
+	}
+	setup, err := memnode.DialOptions(target, opts)
+	if err != nil {
+		return report{}, err
+	}
+	defer setup.Close()
+	region, err := setup.Register(cfg.regionMB << 20)
+	if err != nil {
+		return report{}, fmt.Errorf("register: %w", err)
+	}
+	pages := (cfg.regionMB << 20) / cfg.pageBytes
+	if err := prewarm(setup, region, cfg.regionMB<<20); err != nil {
+		return report{}, fmt.Errorf("prewarm: %w", err)
+	}
 
 	lat := stats.NewConcurrentHistogram()
+	var okOps atomic.Uint64
 	var errs atomic.Uint64
 	var wg sync.WaitGroup
+	var kindMu sync.Mutex
+	kind := setup.TransportKind()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
-	for w := 0; w < *workers; w++ {
+	for w := 0; w < cfg.workers; w++ {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			c, err := memnode.DialOptions(target, opts)
 			if err != nil {
-				errs.Add(uint64(*ops))
+				errs.Add(uint64(cfg.ops))
 				return
 			}
 			defer c.Close()
@@ -118,20 +255,20 @@ func main() {
 			// client multiplexes them onto one pipelined stream, so the
 			// connection keeps `depth` requests in flight.
 			var laneWG sync.WaitGroup
-			for d := 0; d < *depth; d++ {
+			for d := 0; d < cfg.depth; d++ {
 				d := d
-				laneOps := *ops / *depth
-				if d < *ops%*depth {
+				laneOps := cfg.ops / cfg.depth
+				if d < cfg.ops%cfg.depth {
 					laneOps++
 				}
 				laneWG.Add(1)
 				go func() {
 					defer laneWG.Done()
-					rng := rand.New(rand.NewSource(*seed + int64(w)*1009 + int64(d)))
+					rng := rand.New(rand.NewSource(cfg.seed + int64(w)*1009 + int64(d)))
 					h := stats.NewHistogram()
-					buf := make([]byte, *pageBytes)
+					buf := make([]byte, cfg.pageBytes)
 					rng.Read(buf)
-					bufs := make([][]byte, *batch)
+					bufs := make([][]byte, cfg.batch)
 					for i := range bufs {
 						bufs[i] = buf
 					}
@@ -140,23 +277,33 @@ func main() {
 					writes := make([]bool, laneOps)
 					laneOffs := make([][]int64, laneOps)
 					for i := range writes {
-						writes[i] = rng.Float64() < *writeFrac
-						laneOffs[i] = make([]int64, *batch)
+						writes[i] = rng.Float64() < cfg.writeFrac
+						laneOffs[i] = make([]int64, cfg.batch)
 						for j := range laneOffs[i] {
-							laneOffs[i][j] = rng.Int63n(pages) * *pageBytes
+							laneOffs[i][j] = rng.Int63n(pages) * cfg.pageBytes
 						}
 					}
+					var ok uint64
 					for i := 0; i < laneOps; i++ {
 						isWrite := writes[i]
 						offs := laneOffs[i]
 						var err error
-						t0 := time.Now()
+						// Sample latency on every 4th op: two time.Now calls
+						// plus a histogram record cost a measurable fraction
+						// of a ~µs-scale shm op, and throughput is wall clock
+						// over all ops regardless. ~25% of a depth-32 run is
+						// still tens of thousands of samples per percentile.
+						sampled := i&3 == 0
+						var t0 time.Time
+						if sampled {
+							t0 = time.Now()
+						}
 						switch {
-						case *batch > 1 && isWrite:
+						case cfg.batch > 1 && isWrite:
 							err = c.WriteV(region, offs, bufs)
-						case *batch > 1:
+						case cfg.batch > 1:
 							var got [][]byte
-							got, err = c.ReadV(region, offs, *pageBytes)
+							got, err = c.ReadV(region, offs, cfg.pageBytes)
 							if err == nil {
 								memnode.PutBuf(got[0][:0:cap(got[0])])
 							}
@@ -164,7 +311,7 @@ func main() {
 							err = c.Write(region, offs[0], buf)
 						default:
 							var body []byte
-							body, err = c.Read(region, offs[0], *pageBytes)
+							body, err = c.Read(region, offs[0], cfg.pageBytes)
 							if err == nil {
 								memnode.PutBuf(body)
 							}
@@ -173,55 +320,68 @@ func main() {
 							errs.Add(1)
 							continue
 						}
-						h.Record(time.Since(t0).Nanoseconds())
+						ok++
+						if sampled {
+							h.Record(time.Since(t0).Nanoseconds())
+						}
 					}
+					okOps.Add(ok)
 					lat.Merge(h)
 				}()
 			}
 			laneWG.Wait()
+			// The worker connections carry the ops, so the transport they
+			// actually negotiated is the one the report should name.
+			kindMu.Lock()
+			kind = c.TransportKind()
+			kindMu.Unlock()
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
 
 	h := lat.Snapshot()
-	if h.Count() == 0 {
-		log.Fatal("memnode-bench: no successful operations")
+	done := okOps.Load()
+	if done == 0 || h.Count() == 0 {
+		return report{}, fmt.Errorf("no successful operations")
 	}
 	us := func(ns int64) float64 { return float64(ns) / 1e3 }
 	r := report{
-		Workers:     *workers,
-		Depth:       *depth,
-		Batch:       *batch,
-		PageBytes:   *pageBytes,
-		Ops:         h.Count(),
-		Pages:       h.Count() * uint64(*batch),
+		Transport:   kind,
+		Workers:     cfg.workers,
+		Depth:       cfg.depth,
+		Batch:       cfg.batch,
+		PageBytes:   cfg.pageBytes,
+		Ops:         done,
+		Pages:       done * uint64(cfg.batch),
 		Errors:      errs.Load(),
 		ElapsedSec:  elapsed.Seconds(),
-		OpsPerSec:   float64(h.Count()) / elapsed.Seconds(),
-		PagesPerSec: float64(h.Count()*uint64(*batch)) / elapsed.Seconds(),
+		OpsPerSec:   float64(done) / elapsed.Seconds(),
+		PagesPerSec: float64(done*uint64(cfg.batch)) / elapsed.Seconds(),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(done),
 		P50Us:       us(h.P50()),
 		P90Us:       us(h.P90()),
 		P99Us:       us(h.P99()),
 		MaxUs:       us(h.Max()),
 	}
-	r.MiBPerSec = r.PagesPerSec * float64(*pageBytes) / (1 << 20)
+	r.MiBPerSec = r.PagesPerSec * float64(cfg.pageBytes) / (1 << 20)
+	return r, nil
+}
 
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(r); err != nil {
-			log.Fatal(err)
-		}
-		return
+func emitJSON(r report) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		log.Fatal(err)
 	}
+}
+
+func printReport(r report) {
+	fmt.Printf("transport:  %s\n", r.Transport)
 	fmt.Printf("ops:        %d (%d pages, %d errors)\n", r.Ops, r.Pages, r.Errors)
 	fmt.Printf("pipeline:   %d conns x depth %d x batch %d\n", r.Workers, r.Depth, r.Batch)
 	fmt.Printf("throughput: %.0f ops/s, %.0f pages/s, %.1f MiB/s\n", r.OpsPerSec, r.PagesPerSec, r.MiBPerSec)
 	fmt.Printf("latency:    p50=%.0fus p90=%.0fus p99=%.0fus max=%.0fus\n", r.P50Us, r.P90Us, r.P99Us, r.MaxUs)
-
-	if st, err := setup.Stat(); err == nil {
-		fmt.Printf("node stats: %d reads, %d writes, %d B served\n",
-			st.ReadOps, st.WriteOps, st.BytesRead+st.BytesWrite)
-	}
+	fmt.Printf("allocs:     %.1f per op\n", r.AllocsPerOp)
 }

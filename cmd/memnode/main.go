@@ -4,9 +4,18 @@
 // when the client negotiates it and fall back to v1 stop-and-wait
 // otherwise; -proto 1 pins the node to v1 for interop testing.
 //
+// -transport shm (or auto) additionally offers the shared-memory ring
+// transport to same-host clients: the HELLO response advertises a unix
+// socket, over which each client receives a memfd-backed segment of
+// rings and a data arena, moving page payloads with zero kernel
+// copies. Clients that stay on TCP (different host, older build, or
+// -transport tcp here) are unaffected — shm only ever widens the
+// choice. Requires Linux memfd; elsewhere "auto" degrades to TCP and
+// "shm" fails at startup.
+//
 // Usage:
 //
-//	memnode -listen :7170 -capacity-mb 4096 -workers 8
+//	memnode -listen :7170 -capacity-mb 4096 -workers 8 -transport shm
 package main
 
 import (
@@ -20,24 +29,42 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7170", "listen address")
-		capacity = flag.Int64("capacity-mb", 1024, "served memory capacity in MiB")
-		proto    = flag.Int("proto", 2, "max wire protocol to accept (1 = legacy stop-and-wait, 2 = pipelined)")
-		workers  = flag.Int("workers", 0, "per-connection worker pool for pipelined ops (0 = default)")
+		listen    = flag.String("listen", "127.0.0.1:7170", "listen address")
+		capacity  = flag.Int64("capacity-mb", 1024, "served memory capacity in MiB")
+		proto     = flag.Int("proto", 2, "max wire protocol to accept (1 = legacy stop-and-wait, 2 = pipelined)")
+		workers   = flag.Int("workers", 0, "per-connection worker pool for pipelined ops (0 = default)")
+		transport = flag.String("transport", "tcp", "data planes to offer: tcp, shm, or auto (shm = offer the shared-memory ring to same-host clients, requires Linux memfd; auto = offer it when the platform supports it)")
 	)
 	flag.Parse()
 	if *proto != 1 && *proto != 2 {
 		log.Fatalf("memnode: -proto must be 1 or 2, got %d", *proto)
 	}
+	var enableShm bool
+	switch *transport {
+	case "tcp":
+	case "shm", "auto":
+		enableShm = true
+	default:
+		log.Fatalf("memnode: -transport must be tcp, shm, or auto, got %q", *transport)
+	}
 
 	srv, err := memnode.NewServerOptions(*listen, *capacity<<20, memnode.ServerOptions{
 		MaxProtocol: *proto,
 		Workers:     *workers,
+		EnableShm:   enableShm,
 	})
 	if err != nil {
 		log.Fatalf("memnode: %v", err)
 	}
-	log.Printf("memnode: serving %d MiB on %s (max proto v%d)", *capacity, srv.Addr(), *proto)
+	if *transport == "shm" && srv.ShmAddr() == "" {
+		_ = srv.Close()
+		log.Fatal("memnode: -transport shm requires Linux memfd support, which this platform lacks (use auto for best-effort)")
+	}
+	if srv.ShmAddr() != "" {
+		log.Printf("memnode: serving %d MiB on %s (max proto v%d, shm doorbell %s)", *capacity, srv.Addr(), *proto, srv.ShmAddr())
+	} else {
+		log.Printf("memnode: serving %d MiB on %s (max proto v%d)", *capacity, srv.Addr(), *proto)
+	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)

@@ -11,6 +11,7 @@ import (
 	"sync"        //magevet:ok memnode is a real TCP client, not virtual-time simulation code
 	"sync/atomic" //magevet:ok lock-free robustness counters keep Metrics off the data path
 	"time"
+	"unsafe"
 )
 
 // Options tunes the client's robustness behavior: connection and per-op
@@ -36,7 +37,21 @@ type Options struct {
 	// HELLO is sent); any other value negotiates v2 with transparent
 	// fallback to v1 when the server predates it.
 	Protocol int
+	// Transport selects the data plane. TransportAuto (the default)
+	// takes the shared-memory ring transport whenever the server
+	// advertises it and the platform supports it, falling back to TCP
+	// transparently; TransportTCP pins TCP; TransportShm requires shm
+	// and fails ops when it cannot be negotiated. Forcing Protocol to
+	// v1 implies TransportTCP.
+	Transport int
 }
+
+// Transport values for Options.Transport.
+const (
+	TransportAuto = iota
+	TransportTCP
+	TransportShm
+)
 
 // DefaultOptions returns the production defaults: patient enough to ride
 // out a memnode restart, bounded enough to surface a dead node.
@@ -75,6 +90,12 @@ func (o *Options) fillDefaults() {
 	if o.Protocol != protoV1 {
 		o.Protocol = protoV2
 	}
+	if o.Transport != TransportTCP && o.Transport != TransportShm {
+		o.Transport = TransportAuto
+	}
+	if o.Protocol == protoV1 {
+		o.Transport = TransportTCP
+	}
 }
 
 // ClientStats counts the client's robustness events. All zero on a
@@ -92,6 +113,12 @@ type ClientStats struct {
 	// V1Fallbacks counts connections negotiated down to the v1
 	// stop-and-wait protocol because the server rejected the HELLO.
 	V1Fallbacks uint64
+	// ShmConnects counts successful shared-memory transport
+	// negotiations (segment mapped, rings live).
+	ShmConnects uint64
+	// ShmFallbacks counts connections that tried the shm transport and
+	// fell back to TCP v2 (dial/handshake/validation failure).
+	ShmFallbacks uint64
 }
 
 // region is the client-side record of a region this client registered:
@@ -135,9 +162,126 @@ type call struct {
 
 	id       uint64
 	deadline time.Time
-	done     chan struct{}
 	body     []byte
 	err      error
+
+	// Completion gate. fin advances 0→finResolving→finDone exactly once
+	// per attempt; a waiter parks on a lazily allocated channel only
+	// when the completion has not already landed, so the shm
+	// inline-polling fast path resolves calls without ever allocating a
+	// channel. The intermediate finResolving state exists because the
+	// completer must read waiter AFTER the fin transition (that order is
+	// what makes a lost wakeup impossible) — waiters therefore treat
+	// only finDone, the completer's final store to the struct, as
+	// permission to return and let doPooled recycle the memory. Raw
+	// atomic fields (not the typed atomic.Uint32/atomic.Pointer) because
+	// do() copies the call per attempt — typed atomics embed noCopy and
+	// would make that copy a vet violation. waiter holds a
+	// *chan struct{}.
+	fin    uint32
+	waiter unsafe.Pointer
+
+	// Arena extent backing this call on the shm transport (unused on
+	// TCP streams).
+	extOff int64
+	extCap int64
+}
+
+// Completion gate states. The gap between finResolving and finDone is
+// two instructions on the completer; waiters that catch it spin.
+const (
+	finPending   = 0 // in flight
+	finResolving = 1 // body/err published, completer still reading waiter
+	finDone      = 2 // completer's last store to the struct: safe to recycle
+)
+
+// complete resolves the call: at most once per attempt (a second
+// completion is a demux bug and panics, exactly as double-closing the
+// old completion channel did), waking the parked waiter if there is
+// one. The fin transition and the waiter publication in wait are both
+// sequentially consistent, so either complete observes the waiter or
+// wait observes fin — a lost wakeup is impossible. The load of waiter
+// must stay AFTER the fin transition for that argument to hold, which
+// is why complete cannot simply finish with fin: the finDone store
+// below is what tells waiters every access to the struct is over.
+// close(ch) safely comes after finDone — it touches only the escaped
+// channel allocation, never the call struct.
+func (ca *call) complete() {
+	if !atomic.CompareAndSwapUint32(&ca.fin, finPending, finResolving) {
+		panic("memnode: double completion of one request")
+	}
+	w := atomic.LoadPointer(&ca.waiter)
+	atomic.StoreUint32(&ca.fin, finDone)
+	if w != nil {
+		close(*(*chan struct{})(w))
+	}
+}
+
+// completed reports whether the call has been fully resolved — body and
+// err published AND the completer done touching the struct. Callers
+// (the inline poller, wait) use it as permission to return the call to
+// its pool, so finResolving must read as "not yet".
+func (ca *call) completed() bool { return atomic.LoadUint32(&ca.fin) == finDone }
+
+// awaitDone spins out the completer's resolving window. Bounded: the
+// completer is between its fin transition and its finDone store.
+func (ca *call) awaitDone() {
+	for atomic.LoadUint32(&ca.fin) != finDone {
+		runtime.Gosched()
+	}
+}
+
+// wait blocks until the call completes, allocating the park channel
+// only on the slow path.
+func (ca *call) wait() {
+	if atomic.LoadUint32(&ca.fin) != finPending {
+		ca.awaitDone()
+		return
+	}
+	ch := make(chan struct{})
+	atomic.StorePointer(&ca.waiter, unsafe.Pointer(&ch))
+	if atomic.LoadUint32(&ca.fin) != finPending {
+		// Completed between the publish and this check. The completer may
+		// or may not have seen ch (a stray close of it is harmless); what
+		// matters is waiting out its final store before returning.
+		ca.awaitDone()
+		return
+	}
+	<-ch // closed only after finDone is already published
+}
+
+// resetGate rearms the completion gate for a fresh attempt. Callers
+// guarantee no stale completer still references this struct (the same
+// discipline the per-attempt copy in do() exists for).
+func (ca *call) resetGate() {
+	atomic.StoreUint32(&ca.fin, finPending)
+	atomic.StorePointer(&ca.waiter, nil)
+}
+
+// link is one negotiated connection generation, whatever its data
+// plane: a TCP stream (v1 or v2) or a shared-memory ring stream. The
+// retry/reconnect/replay stack in do() is transport-agnostic above
+// this interface.
+type link interface {
+	// exec runs one request and blocks until its response arrives or
+	// the link dies.
+	exec(ca *call) ([]byte, error)
+	// alive reports whether the link has not been poisoned.
+	alive() bool
+	// fail poisons the link exactly once, failing all pending calls.
+	fail(err error)
+	// decomposeBatch reports whether batch verbs must be decomposed
+	// into single-page ops client-side (true only for v1 streams).
+	decomposeBatch() bool
+	// exclusiveCall reports whether exec holds the only references to
+	// its call struct once it returns. TCP streams return false: a
+	// poisoned stream's writer may still be draining the old send queue
+	// and touching queued call structs, so every attempt needs its own
+	// copy. The shm stream returns true: submission is inline and
+	// completion removes the call from the pending table before exec
+	// returns, so do() can reuse one struct across attempts — which
+	// keeps the hot path at a single call allocation per op.
+	exclusiveCall() bool
 }
 
 // stream is one live connection generation. A v2 stream runs a writer
@@ -178,6 +322,14 @@ func newStream(c *Client, conn net.Conn, v1 bool) *stream {
 	return s
 }
 
+// decomposeBatch reports whether this stream needs client-side batch
+// decomposition (only the v1 stop-and-wait protocol does).
+func (s *stream) decomposeBatch() bool { return s.v1 }
+
+// exclusiveCall: false — the v2 writer goroutine may still touch a
+// queued call struct after the stream is poisoned.
+func (s *stream) exclusiveCall() bool { return false }
+
 // alive reports whether the stream has not been poisoned.
 func (s *stream) alive() bool {
 	s.pmu.Lock()
@@ -206,7 +358,7 @@ func (s *stream) fail(err error) {
 	}
 	for _, ca := range pend { //magevet:ok fail-all on a poisoned stream: each pending call errors exactly once, order cannot matter
 		ca.err = err
-		close(ca.done)
+		ca.complete()
 	}
 }
 
@@ -215,10 +367,11 @@ func (s *stream) fail(err error) {
 // that concurrency is exactly the pipeline.
 func (s *stream) exec(ca *call) ([]byte, error) {
 	ca.body, ca.err = nil, nil
+	ca.deadline = time.Now().Add(s.c.opts.IOTimeout) //magevet:ok per-op network deadline
 	if s.v1 {
 		return s.execV1(ca)
 	}
-	ca.done = make(chan struct{})
+	ca.resetGate()
 	s.pmu.Lock()
 	if s.err != nil {
 		err := s.err
@@ -234,7 +387,7 @@ func (s *stream) exec(ca *call) ([]byte, error) {
 	case <-s.dead:
 		// fail() already completed ca (it was in the pending table).
 	}
-	<-ca.done
+	ca.wait()
 	return ca.body, ca.err
 }
 
@@ -377,7 +530,7 @@ func (s *stream) readLoop() {
 			ca.err = &serverError{msg: string(body)}
 			PutBuf(body)
 		}
-		close(ca.done)
+		ca.complete()
 	}
 }
 
@@ -462,7 +615,7 @@ type Client struct {
 	// network IO, so Close and Metrics stay live behind a stalled op.
 	mu      sync.Mutex
 	cond    *sync.Cond
-	cur     *stream
+	cur     link
 	raw     net.Conn // eagerly dialed, negotiation deferred to first op
 	dialing bool
 	closed  bool
@@ -482,6 +635,8 @@ type Client struct {
 	regionReplays atomic.Uint64
 	timeouts      atomic.Uint64
 	v1Fallbacks   atomic.Uint64
+	shmConnects   atomic.Uint64
+	shmFallbacks  atomic.Uint64
 }
 
 // Dial connects to a memory node with DefaultOptions.
@@ -546,7 +701,27 @@ func (c *Client) Metrics() ClientStats {
 		RegionReplays: c.regionReplays.Load(),
 		Timeouts:      c.timeouts.Load(),
 		V1Fallbacks:   c.v1Fallbacks.Load(),
+		ShmConnects:   c.shmConnects.Load(),
+		ShmFallbacks:  c.shmFallbacks.Load(),
 	}
+}
+
+// TransportKind reports the data plane of the current connection
+// generation: "shm", "tcp-v2", "tcp-v1", or "none" when no connection
+// has been negotiated yet.
+func (c *Client) TransportKind() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch st := c.cur.(type) {
+	case *shmStream:
+		return "shm"
+	case *stream:
+		if st.v1 {
+			return "tcp-v1"
+		}
+		return "tcp-v2"
+	}
+	return "none"
 }
 
 func (c *Client) isClosed() bool {
@@ -592,7 +767,7 @@ func (c *Client) backoff(attempt int) time.Duration {
 // dials at a time; the rest wait on the condition variable, so an
 // outage costs one connection attempt per backoff interval, not one
 // per blocked op.
-func (c *Client) getStream() (*stream, error) {
+func (c *Client) getStream() (link, error) {
 	c.mu.Lock()
 	for {
 		if c.closed {
@@ -622,7 +797,7 @@ func (c *Client) getStream() (*stream, error) {
 			}
 			fresh = err == nil
 		}
-		var st *stream
+		var st link
 		if err == nil {
 			st, err = c.negotiate(conn) // closes conn on error
 		}
@@ -652,10 +827,12 @@ func (c *Client) getStream() (*stream, error) {
 	}
 }
 
-// negotiate upgrades a fresh connection to protocol v2, or falls back
-// to v1 when the server rejects the HELLO. On IO error the connection
-// is closed and the error returned; the caller's retry loop re-dials.
-func (c *Client) negotiate(conn net.Conn) (*stream, error) {
+// negotiate upgrades a fresh connection to protocol v2 — and, when the
+// server's HELLO response advertises it and Options.Transport allows,
+// to the shared-memory transport — or falls back to v1 when the server
+// rejects the HELLO. On IO error the connection is closed and the
+// error returned; the caller's retry loop re-dials.
+func (c *Client) negotiate(conn net.Conn) (link, error) {
 	if c.opts.Protocol == protoV1 {
 		return newStream(c, conn, true), nil
 	}
@@ -693,6 +870,29 @@ func (c *Client) negotiate(conn net.Conn) (*stream, error) {
 			// The stream manages deadlines from here; a failed clear
 			// surfaces as a spurious timeout the retry path absorbs.
 			_ = conn.SetDeadline(time.Time{})
+			if c.opts.Transport != TransportTCP {
+				ext := parseHelloExt(body)
+				if ext.shm && shmSupported {
+					st, serr := c.dialShm(ext)
+					if serr == nil {
+						// The shm rings replace the TCP data path entirely.
+						_ = conn.Close() // superseded by the shm stream
+						c.shmConnects.Add(1)
+						return st, nil
+					}
+					c.shmFallbacks.Add(1)
+					if c.opts.Transport == TransportShm {
+						_ = conn.Close() // shm was required; the shm error wins
+						return nil, fmt.Errorf("memnode: shm transport required: %w", serr)
+					}
+				} else if c.opts.Transport == TransportShm {
+					_ = conn.Close() // shm was required; report why it cannot happen
+					if !shmSupported {
+						return nil, errShmUnsupported
+					}
+					return nil, errors.New("memnode: shm transport required: server does not offer it")
+				}
+			}
 			return newStream(c, conn, false), nil
 		}
 		_ = conn.Close() // already failing; the protocol error wins
@@ -701,6 +901,10 @@ func (c *Client) negotiate(conn net.Conn) (*stream, error) {
 	// The server rejected the probe as a bad opcode: it speaks v1 only,
 	// and its connection is still healthy. A failed deadline clear
 	// surfaces as a spurious timeout the retry path absorbs.
+	if c.opts.Transport == TransportShm {
+		_ = conn.Close() // shm was required; a v1 server cannot provide it
+		return nil, errors.New("memnode: shm transport required: server speaks v1 only")
+	}
 	_ = conn.SetDeadline(time.Time{})
 	c.v1Fallbacks.Add(1)
 	return newStream(c, conn, true), nil
@@ -730,7 +934,7 @@ func (c *Client) canReplay(handle uint64) bool {
 // fault back in from the new (zeroed) backing. regMu serializes
 // replays so a storm of concurrent region-lost ops registers the
 // region once, not once per op.
-func (c *Client) replayRegion(st *stream, handle, usedSrvID uint64) error {
+func (c *Client) replayRegion(st link, handle, usedSrvID uint64) error {
 	c.regMu.Lock()
 	defer c.regMu.Unlock()
 	reg, ok := c.regions[handle]
@@ -764,10 +968,17 @@ func (c *Client) replayRegion(st *stream, handle, usedSrvID uint64) error {
 // capped backoff, and lazy REGISTER replay when the server reports the
 // region unknown.
 func (c *Client) do(ca *call) ([]byte, error) {
+	// Non-blocking fast path first: a two-case select pays the full
+	// selectgo machinery even when the window has room, which is the
+	// common case on the per-op hot path.
 	select {
 	case c.window <- struct{}{}:
-	case <-c.closedCh:
-		return nil, ErrClosed
+	default:
+		select {
+		case c.window <- struct{}{}:
+		case <-c.closedCh:
+			return nil, ErrClosed
+		}
 	}
 	defer func() { <-c.window }()
 
@@ -790,14 +1001,21 @@ func (c *Client) do(ca *call) ([]byte, error) {
 			lastErr = err
 			continue
 		}
-		// Each attempt gets its own copy of the call: after a stream is
-		// poisoned its writer may still be draining the old send queue,
-		// so the previous attempt's struct must never be mutated again.
-		// The payload slices are shared read-only.
-		att := *ca
+		// The links own att.deadline: TCP streams stamp it at exec entry
+		// (their writer/reader arm socket deadlines from it), the shm
+		// stream computes it lazily only on stall/park slow paths — the
+		// inline-completing hot path never reads the wall clock.
+		att := ca
+		if !st.exclusiveCall() {
+			// Each attempt gets its own copy of the call: after a TCP
+			// stream is poisoned its writer may still be draining the old
+			// send queue, so the previous attempt's struct must never be
+			// mutated again. The payload slices are shared read-only.
+			cp := *ca
+			att = &cp
+		}
 		att.srvID = c.translate(ca.handle)
-		att.deadline = time.Now().Add(c.opts.IOTimeout) //magevet:ok per-op network deadline
-		body, err := c.execute(st, &att)
+		body, err := c.execute(st, att)
 		if err == nil {
 			return body, nil
 		}
@@ -825,8 +1043,8 @@ func (c *Client) do(ca *call) ([]byte, error) {
 
 // execute dispatches one attempt, decomposing batch verbs into v1
 // single-page ops when the negotiated stream predates them.
-func (c *Client) execute(st *stream, ca *call) ([]byte, error) {
-	if st.v1 && (ca.op == opReadV || ca.op == opWriteV) {
+func (c *Client) execute(st link, ca *call) ([]byte, error) {
+	if st.decomposeBatch() && (ca.op == opReadV || ca.op == opWriteV) {
 		return c.executeBatchV1(st, ca)
 	}
 	return st.exec(ca)
@@ -836,7 +1054,7 @@ func (c *Client) execute(st *stream, ca *call) ([]byte, error) {
 // becomes a sequence of single-page ops on the stop-and-wait stream.
 // Any failure aborts the attempt; the outer retry loop re-runs the
 // whole (idempotent) batch.
-func (c *Client) executeBatchV1(st *stream, ca *call) ([]byte, error) {
+func (c *Client) executeBatchV1(st link, ca *call) ([]byte, error) {
 	if ca.op == opWriteV {
 		for i, v := range ca.iovs {
 			sub := &call{
@@ -881,8 +1099,26 @@ func (c *Client) executeBatchV1(st *stream, ca *call) ([]byte, error) {
 // handle for it: the region ID the server issued. The handle survives
 // server restarts — ops that hit a restarted server transparently
 // re-register the region (at its original size, zero-filled) and retry.
+// callPool recycles call prototypes across ops. Safe because do() owns
+// the prototype end to end: TCP attempts run on private copies (only
+// those enter the writer queue and pending tables), and on the shm
+// stream exec returns only once the completion gate reads finDone —
+// the completer's final store to the struct — so once do() is back, no
+// goroutine holds a reference.
+var callPool = sync.Pool{New: func() any { return new(call) }}
+
+// doPooled runs one op on a pooled call struct, keeping the public op
+// wrappers at zero steady-state allocations for the call bookkeeping.
+func (c *Client) doPooled(proto call) ([]byte, error) {
+	ca := callPool.Get().(*call)
+	*ca = proto
+	body, err := c.do(ca)
+	callPool.Put(ca)
+	return body, err
+}
+
 func (c *Client) Register(size int64) (uint64, error) {
-	body, err := c.do(&call{op: opRegister, length: size})
+	body, err := c.doPooled(call{op: opRegister, length: size})
 	if err != nil {
 		return 0, err
 	}
@@ -904,7 +1140,7 @@ func (c *Client) Read(handle uint64, offset, length int64) ([]byte, error) {
 	if length <= 0 || length > MaxIO {
 		return nil, fmt.Errorf("memnode: bad read length %d", length)
 	}
-	body, err := c.do(&call{op: opRead, handle: handle, offset: offset, length: length})
+	body, err := c.doPooled(call{op: opRead, handle: handle, offset: offset, length: length})
 	if err != nil {
 		return nil, err
 	}
@@ -920,7 +1156,7 @@ func (c *Client) Write(handle uint64, offset int64, data []byte) error {
 	if len(data) == 0 || len(data) > MaxIO {
 		return fmt.Errorf("memnode: bad write length %d", len(data))
 	}
-	_, err := c.do(&call{
+	_, err := c.doPooled(call{
 		op: opWrite, handle: handle, offset: offset,
 		length: int64(len(data)), bufs: net.Buffers{data},
 	})
@@ -984,7 +1220,7 @@ func (c *Client) ReadV(handle uint64, offsets []int64, pageBytes int64) ([][]byt
 		iovs[i] = iovec{off: off, length: pageBytes}
 	}
 	desc := putIovecs(iovs)
-	body, err := c.do(&call{
+	body, err := c.doPooled(call{
 		op: opReadV, handle: handle,
 		length: int64(len(desc)), bufs: net.Buffers{desc}, iovs: iovs,
 	})
@@ -1025,7 +1261,7 @@ func (c *Client) WriteV(handle uint64, offsets []int64, pages [][]byte) error {
 	bufs := make(net.Buffers, 0, len(pages)+1)
 	bufs = append(bufs, desc)
 	bufs = append(bufs, pages...)
-	_, err := c.do(&call{
+	_, err := c.doPooled(call{
 		op: opWriteV, handle: handle,
 		length: int64(len(desc)) + total, bufs: bufs, iovs: iovs, pages: pages,
 	})
@@ -1034,7 +1270,7 @@ func (c *Client) WriteV(handle uint64, offsets []int64, pages [][]byte) error {
 
 // Stat fetches server statistics.
 func (c *Client) Stat() (Stats, error) {
-	body, err := c.do(&call{op: opStat})
+	body, err := c.doPooled(call{op: opStat})
 	if err != nil {
 		return Stats{}, err
 	}

@@ -160,9 +160,21 @@ func getBuf(n int) []byte {
 // caller) to the shared pool. Optional: unreturned buffers are simply
 // garbage-collected. After PutBuf the caller must not touch b again.
 func PutBuf(b []byte) {
-	if cap(b) == 0 || cap(b) > maxV2Payload {
+	if cap(b) == 0 {
 		return
 	}
-	b = b[:0]
-	bufPool.Put(&b)
+	// Arena-backed shm read bodies go home to their arena, not the pool
+	// (pooling a slice of a mapping that can be unmapped would be a
+	// use-after-unmap wired into every later getBuf).
+	if shmReleaseBuf(b) {
+		return
+	}
+	if cap(b) > maxV2Payload {
+		return
+	}
+	// Box a slice declared after the early returns: taking &b would make
+	// the parameter escape and cost every caller a heap allocation, even
+	// on the arena path above that never touches the pool.
+	s := b[:0]
+	bufPool.Put(&s)
 }

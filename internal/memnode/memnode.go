@@ -77,6 +77,21 @@ type ServerOptions struct {
 	// connections: how many requests from one pipelined client may be
 	// executed concurrently. Default 8.
 	Workers int
+
+	// EnableShm additionally serves the shared-memory ring transport
+	// (DESIGN.md §13): the HELLO response advertises a unix-domain
+	// socket where clients obtain a memfd-backed segment and move page
+	// data through shared rings instead of socket payloads. Requires
+	// platform support (Linux); NewServerOptions fails otherwise.
+	EnableShm bool
+	// ShmPath is the unix socket path for shm negotiation. Default:
+	// memnode-shm-<port>.sock in the temp directory. A stale socket
+	// file at the path is removed.
+	ShmPath string
+	// ShmArenaBytes overrides the per-connection data arena size.
+	// Default: sized for the client's window plus two maximal batches
+	// (~20 MiB at the default window).
+	ShmArenaBytes int64
 }
 
 func (o *ServerOptions) fillDefaults() {
@@ -90,18 +105,27 @@ func (o *ServerOptions) fillDefaults() {
 
 // Server is the far-memory node daemon.
 type Server struct {
-	ln       net.Listener
-	opts     ServerOptions
-	mu       sync.Mutex
-	regions  map[uint64][][]byte // regionID -> chunks
-	sizes    map[uint64]int64
-	nextID   uint64
-	capacity int64
-	used     int64
+	ln      net.Listener
+	opts    ServerOptions
+	mu      sync.Mutex
+	regions map[uint64][][]byte // regionID -> chunks
+	sizes   map[uint64]int64
+	// regionFrees unmaps mmap-backed region chunks; run only after
+	// every handler has drained (Close, post-wg.Wait) so no IO can
+	// still alias a chunk.
+	regionFrees []func()
+	nextID      uint64
+	capacity    int64
+	used        int64
 
 	// conns tracks live connections so Close can unblock handlers
 	// parked in ReadFull on idle clients.
 	conns map[net.Conn]struct{}
+
+	// Shm transport state (nil/zero unless ServerOptions.EnableShm).
+	shmLn    *net.UnixListener
+	shmPath  string
+	shmToken uint64
 
 	// Stats (atomic; served by STAT).
 	ReadOps    atomic.Uint64
@@ -139,8 +163,18 @@ func NewServerOptions(addr string, capacity int64, opts ServerOptions) (*Server,
 		capacity: capacity,
 		conns:    make(map[net.Conn]struct{}),
 	}
+	if opts.EnableShm {
+		if err := s.setupShm(); err != nil {
+			_ = ln.Close() // constructor failure; the shm error is the one to surface
+			return nil, err
+		}
+	}
 	s.wg.Add(1)
 	go s.acceptLoop() //magevet:ok real network daemon: one accept loop per server
+	if s.shmLn != nil {
+		s.wg.Add(1)
+		go s.shmAcceptLoop() //magevet:ok real network daemon: one accept loop for the shm unix socket
+	}
 	return s, nil
 }
 
@@ -152,12 +186,23 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Close() error {
 	s.closed.Store(true)
 	err := s.ln.Close()
+	if s.shmLn != nil {
+		_ = s.shmLn.Close() // the TCP listener Close error above is the one worth returning
+	}
 	s.mu.Lock()
 	for conn := range s.conns { //magevet:ok close-all: each conn is closed exactly once, order cannot matter
 		_ = conn.Close() // the listener Close error above is the one worth returning
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.mu.Lock()
+	frees := s.regionFrees
+	s.regionFrees = nil
+	s.regions = make(map[uint64][][]byte)
+	s.mu.Unlock()
+	for _, free := range frees {
+		free()
+	}
 	return err
 }
 
@@ -212,10 +257,7 @@ func (s *Server) serve(conn net.Conn) {
 		case opHello:
 			// regionID carries the magic, offset the client's max version.
 			if s.opts.MaxProtocol >= protoV2 && regionID == helloMagic && offset >= protoV2 {
-				var resp [helloRespLen]byte
-				binary.LittleEndian.PutUint64(resp[0:], helloMagic)
-				binary.LittleEndian.PutUint64(resp[8:], protoV2)
-				if err := respond(conn, resp[:]); err != nil {
+				if err := respond(conn, s.helloBody()); err != nil {
 					return
 				}
 				s.serveV2(conn, br)
@@ -277,6 +319,16 @@ func respondErrCode(conn net.Conn, code byte, msg string) error {
 // issued (or lost in a restart); it maps to statusErrRegion on the wire.
 var errUnknownRegion = errors.New("unknown region")
 
+// heapRegionChunks is the portable chunk allocator: plain GC-owned
+// slices, used where mmap is unavailable or fails.
+func heapRegionChunks(nChunks int) [][]byte {
+	chunks := make([][]byte, nChunks)
+	for i := range chunks {
+		chunks[i] = make([]byte, ChunkBytes)
+	}
+	return chunks
+}
+
 // doRegister allocates a region and returns its ID payload, or a status
 // code and message. Shared by the v1 and v2 paths.
 func (s *Server) doRegister(size int64) ([]byte, byte, string) {
@@ -295,9 +347,9 @@ func (s *Server) doRegister(size int64) ([]byte, byte, string) {
 	id := s.nextID
 	s.nextID++
 	nChunks := int((size + ChunkBytes - 1) / ChunkBytes)
-	chunks := make([][]byte, nChunks)
-	for i := range chunks {
-		chunks[i] = make([]byte, ChunkBytes)
+	chunks, release := allocRegionChunks(nChunks)
+	if release != nil {
+		s.regionFrees = append(s.regionFrees, release)
 	}
 	s.regions[id] = chunks
 	s.sizes[id] = size

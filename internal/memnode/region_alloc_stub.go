@@ -1,0 +1,9 @@
+//go:build !linux
+
+package memnode
+
+// allocRegionChunks on non-Linux platforms uses plain heap chunks; the
+// GC owns them, so there is no release hook.
+func allocRegionChunks(nChunks int) ([][]byte, func()) {
+	return heapRegionChunks(nChunks), nil
+}

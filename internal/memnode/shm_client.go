@@ -1,0 +1,686 @@
+// Shared-memory transport: client side.
+//
+// A shmStream is one negotiated shm connection generation, plugging
+// into the same retry/reconnect/REGISTER-replay stack as the TCP
+// streams (it implements the link interface client.go dispatches on).
+// Submission is inline — the submitting goroutine allocates an arena
+// extent, stages the request payload, publishes a submission-ring entry
+// and rings the server's doorbell when it sleeps; a single completer
+// goroutine drains the completion ring, copies response bytes out of
+// the arena into pooled buffers, and resolves calls by request ID.
+//
+// Every value read from shared memory is hostile input: implausible
+// ring indices, unknown or duplicate completion IDs, and lengths
+// exceeding the call's own extent all poison the stream (every pending
+// call fails, the client transparently re-dials — and falls back to TCP
+// if the server no longer offers shm). The completion carries no
+// offsets; response bytes are always read from the extent the client
+// itself recorded at submission.
+package memnode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"        //magevet:ok memnode is a real transport client, not virtual-time simulation code
+	"sync/atomic" //magevet:ok host-side arena registry gate, not simulation state
+	"time"
+	"unsafe"
+)
+
+// errShmUnsupported is surfaced when Options.Transport forces shm on a
+// platform (or against a server) that cannot provide it.
+var errShmUnsupported = errors.New("memnode: shm transport unsupported on this platform")
+
+// shmSpinYields bounds the cooperative spin both sides run before
+// parking on a doorbell read. Yield-based (not busy) spinning matters
+// on small machines: a single-core box makes progress only when the
+// peer gets the CPU.
+const shmSpinYields = 64
+
+// helloExt is the decoded shm extension of a v2 HELLO response.
+type helloExt struct {
+	shm   bool
+	token uint64
+	path  string
+}
+
+// parseHelloExt decodes the optional extension after the mandatory
+// magic+version. Anything malformed reads as "no shm offered" — the
+// extension can only ever widen the transport choice, never break the
+// TCP path.
+func parseHelloExt(body []byte) helloExt {
+	var e helloExt
+	if len(body) < helloRespLen+18 {
+		return e
+	}
+	if binary.LittleEndian.Uint64(body[16:])&helloFlagShm == 0 {
+		return e
+	}
+	e.token = binary.LittleEndian.Uint64(body[24:])
+	pl := int(binary.LittleEndian.Uint16(body[32:]))
+	// len(body) >= 34 held by the caller's length check; subtracted form
+	// so the comparison cannot wrap.
+	if pl == 0 || len(body)-34 < pl {
+		return e
+	}
+	e.path = string(body[34 : 34+pl])
+	e.shm = true
+	return e
+}
+
+// dialShm performs the unix-socket handshake advertised by ext and
+// returns a live shm stream. Any failure leaves no residue: the caller
+// keeps its healthy TCP connection and falls back.
+func (c *Client) dialShm(ext helloExt) (*shmStream, error) {
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	conn, err := d.Dial("unix", ext.path)
+	if err != nil {
+		return nil, fmt.Errorf("shm dial: %w", err)
+	}
+	uc, ok := conn.(*net.UnixConn)
+	if !ok {
+		_ = conn.Close() // not a unix conn; nothing to salvage
+		return nil, errors.New("shm dial: not a unix connection")
+	}
+	fail := func(err error) (*shmStream, error) {
+		_ = uc.Close() // handshake failed; the returned error wins
+		return nil, err
+	}
+	if err := uc.SetDeadline(time.Now().Add(c.opts.IOTimeout)); err != nil { //magevet:ok handshake deadline on a real unix socket
+		return fail(err)
+	}
+	window := c.opts.Window
+	if window > shmMaxWindow {
+		window = shmMaxWindow
+	}
+	var req [shmHelloReqLen]byte
+	binary.LittleEndian.PutUint64(req[0:], shmHelloMagic)
+	binary.LittleEndian.PutUint64(req[8:], ext.token)
+	binary.LittleEndian.PutUint64(req[16:], uint64(window))
+	if _, err := uc.Write(req[:]); err != nil {
+		return fail(fmt.Errorf("shm hello: %w", err))
+	}
+	resp := make([]byte, shmHelloRespLen)
+	fd, err := shmRecvFd(uc, resp)
+	if err != nil {
+		return fail(fmt.Errorf("shm hello response: %w", err))
+	}
+	if resp[0] != statusOK {
+		if fd >= 0 {
+			_ = closeFd(fd) // refusal should carry no fd; drop it either way
+		}
+		n := int(resp[1])
+		if n > len(resp)-2 {
+			n = len(resp) - 2
+		}
+		return fail(fmt.Errorf("shm refused: %s", resp[2:2+n]))
+	}
+	if fd < 0 {
+		return fail(errors.New("shm hello response carried no segment fd"))
+	}
+	layout := shmLayout{
+		entries:    binary.LittleEndian.Uint64(resp[1:]),
+		arenaOff:   int64(binary.LittleEndian.Uint64(resp[9:])),
+		arenaBytes: int64(binary.LittleEndian.Uint64(resp[17:])),
+		segBytes:   int64(binary.LittleEndian.Uint64(resp[25:])),
+		token:      ext.token,
+	}
+	size, err := shmFdSize(fd)
+	if err == nil {
+		err = layout.validate(size)
+	}
+	if err != nil {
+		_ = closeFd(fd) // invalid segment; the validation error wins
+		return fail(err)
+	}
+	seg, err := shmMap(fd, layout.segBytes)
+	_ = closeFd(fd) // the mapping keeps the segment alive; the fd is done
+	if err != nil {
+		return fail(fmt.Errorf("shm map: %w", err))
+	}
+	if err := layout.checkStamp(seg); err != nil {
+		shmUnmap(seg)
+		return fail(err)
+	}
+	if err := uc.SetDeadline(time.Time{}); err != nil {
+		shmUnmap(seg)
+		return fail(err)
+	}
+	st := &shmStream{
+		c:     c,
+		conn:  uc,
+		seg:   seg,
+		arena: seg[layout.arenaOff : layout.arenaOff+layout.arenaBytes],
+		alloc: newShmArena(layout.arenaBytes, window),
+		sq:    newShmRing(seg, shmHdrBytes, layout.entries, shmOffSqProd, shmOffSqCons),
+		cq:    newShmRing(seg, shmHdrBytes+int64(layout.entries)*shmSlotBytes, layout.entries, shmOffCqCons, shmOffCqProd),
+	}
+	st.srvSleep = shmWord(seg, shmOffSrvSleep)
+	st.cliSleep = shmWord(seg, shmOffCliSleep)
+	st.pending = make([]*call, layout.entries)
+	st.batch = make([]shmDone, 0, layout.entries)
+	st.refs.Store(1) // the completer's reference
+	shmRegisterArena(st)
+	go st.completer() //magevet:ok real transport client: one completion-demux goroutine per shm connection
+	return st, nil
+}
+
+// shmStream is one live shm connection generation on the client.
+type shmStream struct {
+	c     *Client
+	conn  *net.UnixConn
+	seg   []byte
+	arena []byte
+	alloc *shmArena
+	sq    shmRing // producer view of the submission ring
+	cq    shmRing // consumer view of the completion ring
+
+	srvSleep *uint64
+	cliSleep *uint64
+
+	// mu guards stream state and the submission side of the ring. It is
+	// never held across socket IO or arena data copies.
+	mu      sync.Mutex
+	err     error
+	idSrc   uint64
+	pending []*call // slot = id & (entries-1); one live call per slot
+	npend   int
+
+	// Mapping lifetime: refs counts the completer, submitters inside
+	// arena sections, and outstanding zero-copy read bodies. poisoned is
+	// the lock-free gate fail() sets; the holder dropping refs to zero
+	// after poisoning unmaps, exactly once.
+	refs      atomic.Int64
+	poisoned  atomic.Bool
+	unmapOnce sync.Once
+
+	// cqSeen mirrors cq.local (republished after each locked drain) so
+	// pollers can test for completion-ring progress without the lock.
+	cqSeen atomic.Uint64
+
+	batch []shmDone // completer-only scratch for lock-batched completions
+}
+
+type shmDone struct {
+	ca *call
+	e  cqEntry
+}
+
+// acquire takes a mapping reference; the segment cannot be unmapped
+// while any reference is held. Fails once the stream is poisoned. The
+// increment-then-check order matters: once our increment lands, refs
+// cannot reach zero under us, so either we observed poisoned and back
+// out through release (never touching the mapping), or any concurrent
+// fail leaves the unmap to our eventual release.
+func (st *shmStream) acquire() error {
+	st.refs.Add(1)
+	if st.poisoned.Load() {
+		st.mu.Lock()
+		err := st.err
+		st.mu.Unlock()
+		st.release()
+		return err
+	}
+	return nil
+}
+
+// release drops a mapping reference; the last release after poisoning
+// unmaps the segment. Deferring the munmap to this point means no
+// goroutine can ever touch freed mapping memory.
+func (st *shmStream) release() {
+	if st.refs.Add(-1) == 0 && st.poisoned.Load() {
+		st.unmapOnce.Do(st.teardown)
+	}
+}
+
+func (st *shmStream) alive() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err == nil
+}
+
+func (st *shmStream) decomposeBatch() bool { return false }
+
+// exclusiveCall: true — submission is inline and completion removes
+// the call from the pending table before exec returns, so no other
+// goroutine holds a reference afterwards and do() may reuse the
+// struct across attempts.
+func (st *shmStream) exclusiveCall() bool { return true }
+
+// fail poisons the stream exactly once: the doorbell socket closes
+// (waking the completer and notifying the server), and every pending
+// call completes with err. The mapping is unmapped by the last
+// reference holder, never here.
+func (st *shmStream) fail(err error) {
+	st.mu.Lock()
+	if st.err != nil {
+		st.mu.Unlock()
+		return
+	}
+	st.err = err
+	st.poisoned.Store(true) // after err: poisoned readers always find the error
+	var pend []*call
+	for i, ca := range st.pending {
+		if ca != nil {
+			pend = append(pend, ca)
+			st.pending[i] = nil
+		}
+	}
+	st.npend = 0
+	st.mu.Unlock()
+	_ = st.conn.Close() // the stream is already poisoned; nothing to salvage
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		st.c.timeouts.Add(1)
+	}
+	for _, ca := range pend {
+		ca.err = err
+		ca.complete()
+	}
+}
+
+// needBytes returns the arena extent size an op requires: enough for
+// its request payload and its response data, whichever is larger.
+func needBytes(ca *call) int64 {
+	switch ca.op {
+	case opRegister:
+		return 8
+	case opStat:
+		return 48
+	case opReadV:
+		var total int64
+		for _, v := range ca.iovs {
+			total += v.length
+		}
+		if total > ca.length {
+			return total
+		}
+		return ca.length
+	default: // opRead reads length bytes; opWrite/opWriteV stage length bytes
+		return ca.length
+	}
+}
+
+// exec runs one request through the rings and blocks until the
+// completer resolves it or the stream dies.
+func (st *shmStream) exec(ca *call) ([]byte, error) {
+	ca.body, ca.err = nil, nil
+	ca.resetGate()
+	need := needBytes(ca)
+	if need < 0 || need > int64(len(st.arena)) {
+		return nil, &serverError{msg: fmt.Sprintf("op %d needs %d arena bytes, segment has %d", ca.op, need, len(st.arena))}
+	}
+	if err := st.acquire(); err != nil {
+		return nil, err
+	}
+	// Allocate the extent, yielding while the arena is momentarily
+	// exhausted by in-flight calls; the op's deadline bounds the wait
+	// without poisoning the stream. The deadline is computed lazily on
+	// this and every other slow path so the inline-completing hot path
+	// never reads the wall clock.
+	var stallDl time.Time
+	overdue := func() bool {
+		if stallDl.IsZero() {
+			if stallDl = ca.deadline; stallDl.IsZero() {
+				stallDl = time.Now().Add(st.c.opts.IOTimeout) //magevet:ok per-op network deadline, computed on the stall slow path
+			}
+		}
+		return time.Now().After(stallDl) //magevet:ok per-op network deadline
+	}
+	var extOff, extCap int64
+	for {
+		off, cp, ok := st.alloc.alloc(need)
+		if ok {
+			extOff, extCap = off, cp
+			break
+		}
+		st.mu.Lock()
+		err := st.err
+		st.mu.Unlock()
+		if err != nil {
+			st.release()
+			return nil, err
+		}
+		if overdue() {
+			st.release()
+			return nil, fmt.Errorf("memnode: arena exhausted past op deadline: %w", errShmStall)
+		}
+		runtime.Gosched()
+	}
+	ca.extOff, ca.extCap = extOff, extCap
+	// Stage the request payload into the extent (outside any lock; the
+	// extent is exclusively ours until the ring entry publishes).
+	w := st.arena[extOff : extOff+extCap]
+	n := 0
+	for _, b := range ca.bufs {
+		n += copy(w[n:], b)
+	}
+	// Publish the submission entry.
+	st.mu.Lock()
+	for {
+		if st.err != nil {
+			err := st.err
+			st.mu.Unlock()
+			st.alloc.free(extOff, extCap)
+			st.release()
+			return nil, err
+		}
+		full, ferr := st.sq.full()
+		if ferr != nil {
+			st.mu.Unlock()
+			st.fail(ferr)
+			st.release()
+			return nil, ferr
+		}
+		slot := (st.idSrc + 1) & (st.cq.entries - 1)
+		if !full && st.pending[slot] == nil {
+			break
+		}
+		// Ring momentarily full (possible only when the window exceeds
+		// half the ring) or the slot's previous generation is still in
+		// flight: yield and retry under the op deadline.
+		st.mu.Unlock()
+		if overdue() {
+			st.release()
+			return nil, fmt.Errorf("memnode: submission ring stalled past op deadline: %w", errShmStall)
+		}
+		runtime.Gosched()
+		st.mu.Lock()
+	}
+	st.idSrc++
+	ca.id = st.idSrc
+	st.pending[ca.id&(st.cq.entries-1)] = ca
+	st.npend++
+	encodeSQE(st.sq.slot(st.sq.local), sqEntry{
+		op: ca.op, id: ca.id, regionID: ca.srvID,
+		offset: ca.offset, length: ca.length,
+		extOff: uint64(extOff), extCap: uint64(extCap),
+	})
+	st.sq.publish()
+	st.mu.Unlock()
+	// Ring the server's doorbell only when it announced it is parking;
+	// a busy server sees the published index on its next poll.
+	if shmShouldWake(st.srvSleep) {
+		_ = st.conn.SetWriteDeadline(time.Now().Add(st.c.opts.IOTimeout)) //magevet:ok doorbell write bound on a real unix socket
+		if _, err := st.conn.Write([]byte{1}); err != nil {
+			st.fail(err)
+		}
+	}
+	// Inline completion polling (io_uring style): the submitter drains
+	// the completion ring itself while its call is in flight. In steady
+	// state on a small box the submit → yield → server-burst → drain
+	// cycle resolves the call with no channel park/wake and no completer
+	// hop; the completer persists as the deadline and peer-death
+	// watchdog, and as the drain of last resort once we park below. The
+	// mapping reference taken above stays held across the polling.
+	var scratch [40]shmDone
+	for spin := 0; spin < shmInlinePolls; spin++ {
+		if ca.completed() {
+			st.release()
+			return ca.body, ca.err
+		}
+		if st.poisoned.Load() {
+			break
+		}
+		// TryLock: when the lock is contended someone else is already
+		// draining — fall through to the yield so they get the CPU.
+		if st.cqReady() && st.mu.TryLock() {
+			if _, err := st.drainLocked(scratch[:0]); err != nil {
+				st.fail(err)
+			}
+			continue
+		}
+		runtime.Gosched()
+	}
+	// Parking: give the call a real deadline first (under st.mu — the
+	// completer's overdue scan reads it there) so a wedged server still
+	// times the op out. Inline-completed calls never reach this and
+	// never pay the wall-clock read.
+	st.mu.Lock()
+	if ca.deadline.IsZero() {
+		ca.deadline = time.Now().Add(st.c.opts.IOTimeout) //magevet:ok per-op network deadline, stamped only when parking
+	}
+	st.mu.Unlock()
+	st.release()
+	ca.wait()
+	return ca.body, ca.err
+}
+
+// shmInlinePolls bounds a submitter's inline completion polling before
+// it parks on its done channel and leaves draining to the completer.
+const shmInlinePolls = 256
+
+// errShmStall marks arena/ring backpressure that outlived an op
+// deadline; it is retryable (the op may succeed after reconnect or
+// once in-flight load drains).
+var errShmStall = errors.New("shm transport stalled")
+
+// completer drains the completion ring, spinning briefly between
+// bursts and then parking on the doorbell socket — where peer death
+// (EOF) and per-op timeouts (read deadline over the oldest pending
+// deadline) are detected, mirroring the TCP reader's semantics.
+func (st *shmStream) completer() {
+	defer st.release()
+	var db [1]byte
+	for {
+		if st.poisoned.Load() {
+			return
+		}
+		n, err := st.consumeCompletions(st.batch)
+		if err != nil {
+			st.fail(err)
+			return
+		}
+		if n > 0 {
+			continue
+		}
+		spun := false
+		for i := 0; i < shmSpinYields; i++ {
+			runtime.Gosched()
+			if st.cqReady() {
+				spun = true
+				break
+			}
+		}
+		if spun {
+			continue
+		}
+		shmAnnounceSleep(st.cliSleep)
+		if st.cqReady() {
+			shmCancelSleep(st.cliSleep)
+			continue
+		}
+		// Park with a deadline tick so calls against a wedged (but not
+		// dead) server still time out: on each tick, overdue pending
+		// calls poison the stream; an idle tick just re-parks.
+		_ = st.conn.SetReadDeadline(time.Now().Add(st.c.opts.IOTimeout)) //magevet:ok per-op network deadline
+		if _, rerr := st.conn.Read(db[:]); rerr != nil {
+			var ne net.Error
+			if errors.As(rerr, &ne) && ne.Timeout() && !st.anyOverdue(time.Now()) { //magevet:ok per-op deadline check against wall clock
+				shmCancelSleep(st.cliSleep)
+				continue
+			}
+			st.fail(rerr)
+			return
+		}
+		shmCancelSleep(st.cliSleep)
+	}
+}
+
+// anyOverdue reports whether any pending call's deadline has passed. A
+// zero deadline means the submitter is still inline-polling (it stamps
+// a real deadline before parking) — such a call is never overdue; the
+// submitter's own bounded poll loop is its progress guarantee.
+func (st *shmStream) anyOverdue(now time.Time) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, ca := range st.pending {
+		if ca != nil && !ca.deadline.IsZero() && now.After(ca.deadline) {
+			return true
+		}
+	}
+	return false
+}
+
+// cqReady is the lock-free pre-check for completion-ring progress:
+// cqSeen mirrors the consumer index (republished under mu after each
+// drain), so a poller can test "anything new?" with two atomic loads
+// and no lock. A hostile producer index still says "ready" — the locked
+// drain is where it is validated and poisons.
+func (st *shmStream) cqReady() bool {
+	return atomic.LoadUint64(st.cq.peer) != st.cqSeen.Load()
+}
+
+// consumeCompletions validates and resolves every available completion
+// entry into the caller's scratch. The pending table is updated under
+// one lock acquisition per burst; arena copies and call completion
+// happen outside the lock. Safe to call from any goroutine — the
+// completer and inline-polling submitters race to drain, whoever gets
+// the lock first wins the burst. A non-nil error means hostile ring
+// state — the caller poisons the stream, which also fails whatever this
+// burst had not yet resolved.
+func (st *shmStream) consumeCompletions(scratch []shmDone) (int, error) {
+	st.mu.Lock()
+	return st.drainLocked(scratch)
+}
+
+// drainLocked does the drain with st.mu held and releases it. Pollers
+// enter via TryLock (exec's inline loop), the completer via Lock.
+func (st *shmStream) drainLocked(scratch []shmDone) (int, error) {
+	if st.err != nil {
+		st.mu.Unlock()
+		return 0, nil // already poisoned; the caller observes it elsewhere
+	}
+	avail, err := st.cq.available()
+	if err != nil || avail == 0 {
+		st.mu.Unlock()
+		return 0, err
+	}
+	batch := scratch[:0]
+	var herr error
+	for i := uint64(0); i < avail; i++ {
+		e := decodeCQE(st.cq.slot(st.cq.local))
+		slot := e.id & (st.cq.entries - 1)
+		ca := st.pending[slot]
+		if ca == nil || ca.id != e.id {
+			herr = fmt.Errorf("shm: completion for unknown request id %d", e.id)
+			break
+		}
+		if e.length < 0 || e.length > ca.extCap {
+			herr = fmt.Errorf("shm: completion length %d exceeds extent cap %d", e.length, ca.extCap)
+			break
+		}
+		st.pending[slot] = nil
+		st.npend--
+		st.cq.advanceLocal()
+		batch = append(batch, shmDone{ca: ca, e: e})
+	}
+	st.cq.commit() // one shared store per burst, not one per entry
+	st.cqSeen.Store(st.cq.local)
+	st.mu.Unlock()
+	// Resolve the burst even when it ended in poison: these calls were
+	// validly completed before the corruption point.
+	for _, d := range batch {
+		st.finish(d.ca, d.e)
+	}
+	return len(batch), herr
+}
+
+// finish resolves one completed call. Runs on the completer goroutine,
+// which holds a mapping reference.
+//
+// Single READs resolve zero-copy: the body is the call's own arena
+// extent (capacity-clamped to it), and the extent transfers to the
+// caller — PutBuf recognizes arena-backed buffers and routes them back
+// to this allocator, releasing the mapping reference the body holds.
+// Reading far memory therefore costs exactly one copy (region store →
+// arena), the same count as local RDMA. The flip side is shared-mapping
+// semantics: the server (or a successful remote write racing the read)
+// can still scribble on those bytes until PutBuf, exactly as one-sided
+// RDMA into a registered buffer could.
+//
+// Everything else (REGISTER ids, STAT blobs, READV bodies that callers
+// re-slice per page, error messages) copies into pooled buffers and
+// frees the extent immediately.
+func (st *shmStream) finish(ca *call, e cqEntry) {
+	ext := st.arena[ca.extOff : ca.extOff+e.length]
+	switch e.status {
+	case statusOK:
+		if e.length > 0 && ca.op == opRead {
+			st.refs.Add(1) // the body keeps the mapping alive until PutBuf
+			ca.body = st.arena[ca.extOff : ca.extOff+e.length : ca.extOff+ca.extCap]
+			ca.complete()
+			return
+		}
+		if e.length > 0 {
+			body := getBuf(int(e.length))
+			copy(body, ext)
+			ca.body = body
+		}
+	case statusErrRegion:
+		ca.err = fmt.Errorf("%w: %s", errRegionLost, ext)
+	default:
+		ca.err = &serverError{msg: string(ext)}
+	}
+	st.alloc.free(ca.extOff, ca.extCap)
+	ca.complete()
+}
+
+// shmArenaReg tracks live client arenas so PutBuf can route
+// arena-backed read bodies home. Writers (stream setup/teardown, rare)
+// serialize on mu and republish an immutable snapshot; the PutBuf read
+// path is one atomic load of the snapshot, nothing else.
+var shmArenaReg struct {
+	mu   sync.Mutex
+	list []*shmStream // writer-side master copy
+	snap atomic.Value // []*shmStream: immutable snapshot for readers
+}
+
+func shmRegisterArena(st *shmStream) {
+	shmArenaReg.mu.Lock()
+	defer shmArenaReg.mu.Unlock()
+	shmArenaReg.list = append(shmArenaReg.list, st)
+	shmArenaReg.snap.Store(append([]*shmStream(nil), shmArenaReg.list...))
+}
+
+// teardown unregisters the stream and unmaps its segment; called
+// exactly once, by the holder of the last mapping reference.
+func (st *shmStream) teardown() {
+	shmArenaReg.mu.Lock()
+	for i, s := range shmArenaReg.list {
+		if s == st {
+			shmArenaReg.list = append(shmArenaReg.list[:i], shmArenaReg.list[i+1:]...)
+			break
+		}
+	}
+	shmArenaReg.snap.Store(append([]*shmStream(nil), shmArenaReg.list...))
+	shmArenaReg.mu.Unlock()
+	shmUnmap(st.seg)
+}
+
+// shmReleaseBuf frees b back to its arena when it is an arena-backed
+// read body, reporting whether it was one. The buffer must be the exact
+// slice a Read returned (same base pointer and capacity), mirroring the
+// pooled-buffer contract. A snapshot entry cannot be unmapped while we
+// inspect it: the body's own mapping reference (taken at completion,
+// dropped below) keeps its stream alive, and streams the buffer does
+// not belong to are merely address-compared, never dereferenced.
+func shmReleaseBuf(b []byte) bool {
+	snap, _ := shmArenaReg.snap.Load().([]*shmStream)
+	if len(snap) == 0 {
+		return false
+	}
+	p := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+	for _, st := range snap {
+		base := uintptr(unsafe.Pointer(unsafe.SliceData(st.arena)))
+		if p >= base && p-base < uintptr(len(st.arena)) {
+			st.alloc.free(int64(p-base), int64(cap(b)))
+			st.release()
+			return true
+		}
+	}
+	return false
+}

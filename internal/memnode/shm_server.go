@@ -1,0 +1,472 @@
+// Shared-memory transport: server side.
+//
+// The server announces shm support in its HELLO response (a unix-domain
+// socket path plus a per-server token). A client that wants the shm
+// data plane dials that socket, proves it spoke to this server instance
+// by echoing the token, and receives a freshly created memfd segment
+// via SCM_RIGHTS. From then on the unix connection carries only
+// doorbell bytes and peer-death notification (EOF); all requests,
+// responses, and page data move through the mapped segment.
+//
+// Execution reuses the same region store and validation helpers as the
+// TCP paths (doRegister/regionAt/regionForBatch/chunkedCopy/doStat), so
+// the two transports cannot drift semantically. Safety against a
+// hostile peer sharing the mapping:
+//
+//   - extents are bounds-checked against the arena before any access
+//     (unsigned subtracted form), so no descriptor can point the server
+//     outside its own mapping;
+//   - descriptor tables are copied into private memory before parsing,
+//     so a client racing writes into the arena cannot change a table
+//     between validation and use (TOCTOU);
+//   - implausible ring indices poison the connection (close + unmap),
+//     never index out of bounds;
+//   - region validation failures are reported as status errors through
+//     the completion ring, exactly like TCP, so an honest client's
+//     errors keep flowing even while another extent is being abused.
+package memnode
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// Shm handshake framing (unix socket, little-endian).
+const (
+	shmHelloReqLen  = 24 // magic(8) token(8) window(8)
+	shmHelloRespLen = 33 // status(1) entries(8) arenaOff(8) arenaBytes(8) segBytes(8); refusal: status(1) msgLen(1) msg(≤31)
+	shmMaxWindow    = 1 << 16
+)
+
+// shmTableMax bounds a READV/WRITEV descriptor table.
+const shmTableMax = 8 + 16*MaxBatchPages
+
+// serveShmConn runs one shm connection: handshake (create + pass the
+// segment), then the submission-ring consumer loop until the peer dies,
+// the ring turns hostile, or the server closes.
+func (s *Server) serveShmConn(uc *net.UnixConn) {
+	// The handshake is bounded so a dialer that never speaks cannot park
+	// a handler forever.
+	_ = uc.SetDeadline(time.Now().Add(5 * time.Second)) //magevet:ok handshake deadline on a real unix socket
+	var req [shmHelloReqLen]byte
+	if _, err := readFullConn(uc, req[:]); err != nil {
+		return
+	}
+	magic := binary.LittleEndian.Uint64(req[0:])
+	token := binary.LittleEndian.Uint64(req[8:])
+	window := int64(binary.LittleEndian.Uint64(req[16:]))
+	if magic != shmHelloMagic || token != s.shmToken {
+		_ = writeShmRefusal(uc, "bad shm hello")
+		return
+	}
+	if window < 1 || window > shmMaxWindow {
+		_ = writeShmRefusal(uc, fmt.Sprintf("bad window %d", window))
+		return
+	}
+	layout := shmLayoutFor(int(window), s.opts.ShmArenaBytes, s.shmToken)
+	fd, err := shmCreateSegment(layout.segBytes)
+	if err != nil {
+		_ = writeShmRefusal(uc, "segment creation failed")
+		return
+	}
+	seg, err := shmMap(fd, layout.segBytes)
+	if err != nil {
+		_ = closeFd(fd)
+		_ = writeShmRefusal(uc, "segment map failed")
+		return
+	}
+	layout.stamp(seg)
+	var resp [shmHelloRespLen]byte
+	resp[0] = statusOK
+	binary.LittleEndian.PutUint64(resp[1:], layout.entries)
+	binary.LittleEndian.PutUint64(resp[9:], uint64(layout.arenaOff))
+	binary.LittleEndian.PutUint64(resp[17:], uint64(layout.arenaBytes))
+	binary.LittleEndian.PutUint64(resp[25:], uint64(layout.segBytes))
+	err = shmSendFd(uc, resp[:], fd)
+	_ = closeFd(fd) // both sides hold mappings (or the send failed); the fd itself is done
+	if err != nil {
+		shmUnmap(seg)
+		return
+	}
+	_ = uc.SetDeadline(time.Time{}) // steady state: reads block until doorbell or peer death
+	h := &shmConn{
+		s:     s,
+		conn:  uc,
+		seg:   seg,
+		arena: seg[layout.arenaOff : layout.arenaOff+layout.arenaBytes],
+		sq:    newShmRing(seg, shmHdrBytes, layout.entries, shmOffSqCons, shmOffSqProd),
+		cq:    newShmRing(seg, shmHdrBytes+int64(layout.entries)*shmSlotBytes, layout.entries, shmOffCqProd, shmOffCqCons),
+	}
+	h.srvSleep = shmWord(seg, shmOffSrvSleep)
+	h.cliSleep = shmWord(seg, shmOffCliSleep)
+	h.loop()
+	shmUnmap(seg)
+}
+
+func writeShmRefusal(uc *net.UnixConn, msg string) error {
+	var resp [shmHelloRespLen]byte
+	resp[0] = statusErr
+	if len(msg) > 31 {
+		msg = msg[:31]
+	}
+	resp[1] = byte(len(msg))
+	copy(resp[2:], msg)
+	_, err := uc.Write(resp[:])
+	return err
+}
+
+// readFullConn is io.ReadFull without the bufio layer the TCP paths use.
+func readFullConn(conn net.Conn, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := conn.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// shmConn is one live shm connection on the server.
+type shmConn struct {
+	s     *Server
+	conn  *net.UnixConn
+	seg   []byte
+	arena []byte
+	sq    shmRing // consumer view of the submission ring
+	cq    shmRing // producer view of the completion ring
+
+	srvSleep *uint64
+	cliSleep *uint64
+}
+
+// loop consumes submissions until the connection dies. Between bursts
+// it spins briefly (yielding so a same-core client can run), then
+// parks on a doorbell read — which is also how peer death (EOF) and
+// server shutdown (Close closes the conn) are detected.
+func (h *shmConn) loop() {
+	var db [1]byte
+	for {
+		n, err := h.process()
+		if err != nil {
+			return // hostile ring state: poison the connection
+		}
+		if n > 0 {
+			continue
+		}
+		spun := false
+		for i := 0; i < shmSpinYields; i++ {
+			runtime.Gosched()
+			if avail, err := h.sq.available(); err != nil {
+				return
+			} else if avail > 0 {
+				spun = true
+				break
+			}
+		}
+		if spun {
+			continue
+		}
+		shmAnnounceSleep(h.srvSleep)
+		if avail, err := h.sq.available(); err != nil {
+			return
+		} else if avail > 0 {
+			shmCancelSleep(h.srvSleep)
+			continue
+		}
+		if _, err := h.conn.Read(db[:]); err != nil {
+			return // peer death or server Close
+		}
+		shmCancelSleep(h.srvSleep)
+	}
+}
+
+// process consumes every available submission, executes it, and
+// publishes its completion. A non-nil error means the ring state or a
+// descriptor was hostile and the connection must be poisoned.
+func (h *shmConn) process() (int, error) {
+	avail, err := h.sq.available()
+	if err != nil {
+		return 0, err
+	}
+	done := 0
+	// Submission-consumer index publication is batched: one shared store
+	// per burst (the client's full-check lags by at most one burst, which
+	// a 2x-window ring absorbs). Completions still publish per entry so
+	// the client can start draining while the burst is in progress.
+	defer h.sq.commit()
+	for i := uint64(0); i < avail; i++ {
+		e := decodeSQE(h.sq.slot(h.sq.local))
+		h.sq.advanceLocal()
+		if !extentInArena(e.extOff, e.extCap, int64(len(h.arena))) {
+			return done, fmt.Errorf("shm: extent [%d,+%d) outside arena %d", e.extOff, e.extCap, len(h.arena))
+		}
+		status, n := h.exec(e)
+		if err := h.complete(cqEntry{status: status, id: e.id, length: n}); err != nil {
+			return done, err
+		}
+		done++
+	}
+	if done > 0 && shmShouldWake(h.cliSleep) {
+		_ = h.conn.SetWriteDeadline(time.Now().Add(5 * time.Second)) //magevet:ok doorbell write bound on a real unix socket
+		if _, err := h.conn.Write([]byte{1}); err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// complete publishes one completion entry, waiting briefly if the ring
+// is full. An honestly sized ring (2x the window) cannot fill, so a
+// persistent full state means the client stopped consuming and the
+// connection is poisoned.
+func (h *shmConn) complete(e cqEntry) error {
+	for waited := 0; ; waited++ {
+		full, err := h.cq.full()
+		if err != nil {
+			return err
+		}
+		if !full {
+			break
+		}
+		if waited < 1024 {
+			runtime.Gosched()
+			continue
+		}
+		if waited > 1024+5000 {
+			return fmt.Errorf("shm: completion ring full, client not consuming")
+		}
+		time.Sleep(time.Millisecond) //magevet:ok shm backpressure: bounded 5s stall budget before poisoning
+	}
+	encodeCQE(h.cq.slot(h.cq.local), e)
+	h.cq.publish()
+	return nil
+}
+
+// exec runs one validated-extent submission against the region store
+// and returns the completion status and response length. All response
+// bytes (data, REGISTER ids, STAT blobs, error messages) land in the
+// submission's own extent.
+func (h *shmConn) exec(e sqEntry) (byte, int64) {
+	s := h.s
+	ext := h.arena[e.extOff : e.extOff+e.extCap]
+	switch e.op {
+	case opRegister:
+		body, code, msg := s.doRegister(e.length)
+		if code != statusOK {
+			return shmErr(ext, code, msg)
+		}
+		if len(body) > len(ext) {
+			return shmErr(ext, statusErr, "register: extent too small")
+		}
+		return statusOK, int64(copy(ext, body))
+	case opRead:
+		if e.length <= 0 || e.length > int64(len(ext)) {
+			return shmErr(ext, statusErr, fmt.Sprintf("bad length %d for extent %d", e.length, len(ext)))
+		}
+		chunks, err := s.regionAt(e.regionID, e.offset, e.length)
+		if err != nil {
+			return shmErr(ext, errStatus(err), err.Error())
+		}
+		chunkedCopy(chunks, e.offset, ext[:e.length], false)
+		s.ReadOps.Add(1)
+		s.BytesRead.Add(uint64(e.length))
+		return statusOK, e.length
+	case opWrite:
+		if e.length <= 0 || e.length > MaxIO || e.length > int64(len(ext)) {
+			return shmErr(ext, statusErr, fmt.Sprintf("bad length %d", e.length))
+		}
+		// The copy source aliases client-writable memory: a client racing
+		// its own write tears its own data, exactly as one-sided RDMA
+		// would; the server-side bounds are already pinned.
+		code, msg := s.doWrite(e.regionID, e.offset, ext[:e.length])
+		if code != statusOK {
+			return shmErr(ext, code, msg)
+		}
+		return statusOK, 0
+	case opReadV:
+		// length = descriptor table bytes; the response data overwrites
+		// the extent from the start.
+		if e.length < 8 || e.length > shmTableMax || e.length > int64(len(ext)) {
+			return shmErr(ext, statusErr, fmt.Sprintf("readv: bad table length %d", e.length))
+		}
+		tbl := getBuf(int(e.length))
+		copy(tbl, ext[:e.length]) // private copy: the table must not change between parse and use
+		iovs, consumed, total, err := parseIovecs(tbl)
+		if err == nil && consumed != len(tbl) {
+			err = fmt.Errorf("readv: %d trailing table bytes", len(tbl)-consumed)
+		}
+		PutBuf(tbl)
+		if err != nil {
+			return shmErr(ext, statusErr, err.Error())
+		}
+		if total > int64(len(ext)) {
+			return shmErr(ext, statusErr, fmt.Sprintf("readv: %d bytes exceed extent %d", total, len(ext)))
+		}
+		chunks, err := s.regionForBatch(e.regionID, iovs)
+		if err != nil {
+			return shmErr(ext, errStatus(err), err.Error())
+		}
+		out := ext[:total]
+		for _, v := range iovs {
+			chunkedCopy(chunks, v.off, out[:v.length], false)
+			out = out[v.length:]
+		}
+		s.ReadOps.Add(uint64(len(iovs)))
+		s.BytesRead.Add(uint64(total))
+		return statusOK, total
+	case opWriteV:
+		// length = table + concatenated data bytes.
+		if e.length < 8 || e.length > int64(len(ext)) {
+			return shmErr(ext, statusErr, fmt.Sprintf("writev: bad payload length %d", e.length))
+		}
+		var cnt [8]byte
+		copy(cnt[:], ext[:8])
+		n := binary.LittleEndian.Uint64(cnt[:])
+		if n == 0 || n > MaxBatchPages {
+			return shmErr(ext, statusErr, fmt.Sprintf("batch: bad page count %d (max %d)", n, MaxBatchPages))
+		}
+		tblLen := int64(8 + 16*n)
+		if tblLen > e.length {
+			return shmErr(ext, statusErr, fmt.Sprintf("writev: table %d exceeds payload %d", tblLen, e.length))
+		}
+		tbl := getBuf(int(tblLen))
+		copy(tbl, ext[:tblLen]) // private copy: see opReadV
+		iovs, _, total, err := parseIovecs(tbl)
+		PutBuf(tbl)
+		if err != nil {
+			return shmErr(ext, statusErr, err.Error())
+		}
+		data := ext[tblLen:e.length]
+		if int64(len(data)) != total {
+			return shmErr(ext, statusErr, fmt.Sprintf("writev: descriptors cover %d bytes, payload carries %d", total, len(data)))
+		}
+		chunks, err := s.regionForBatch(e.regionID, iovs)
+		if err != nil {
+			return shmErr(ext, errStatus(err), err.Error())
+		}
+		for _, v := range iovs {
+			chunkedCopy(chunks, v.off, data[:v.length], true)
+			data = data[v.length:]
+		}
+		s.WriteOps.Add(uint64(len(iovs)))
+		s.BytesWrite.Add(uint64(total))
+		return statusOK, 0
+	case opStat:
+		body := s.doStat()
+		if len(body) > len(ext) {
+			return shmErr(ext, statusErr, "stat: extent too small")
+		}
+		return statusOK, int64(copy(ext, body))
+	default:
+		return shmErr(ext, statusErr, fmt.Sprintf("bad opcode %d", e.op))
+	}
+}
+
+// shmErr writes an error message into the extent (truncating to fit)
+// and returns the completion fields for it.
+func shmErr(ext []byte, code byte, msg string) (byte, int64) {
+	n := copy(ext, msg)
+	return code, int64(n)
+}
+
+// setupShm creates the shm negotiation socket and the per-server token
+// clients must echo to prove they negotiated against this instance (a
+// restarted server mints a new token, so stale clients re-negotiate
+// over TCP instead of attaching to the wrong segment namespace).
+func (s *Server) setupShm() error {
+	if !shmSupported {
+		return fmt.Errorf("memnode: shm transport unsupported on this platform")
+	}
+	var tok [8]byte
+	if _, err := cryptorand.Read(tok[:]); err != nil {
+		return fmt.Errorf("memnode: shm token: %w", err)
+	}
+	s.shmToken = binary.LittleEndian.Uint64(tok[:])
+	path := s.opts.ShmPath
+	if path == "" {
+		_, port, err := net.SplitHostPort(s.ln.Addr().String())
+		if err != nil {
+			port = "0"
+		}
+		path = filepath.Join(os.TempDir(), "memnode-shm-"+port+".sock")
+	}
+	// A stale socket file from a previous (dead) server at the same
+	// address would fail the listen; remove it. A restarted server
+	// reusing the port lands on the same path, which is exactly what the
+	// chaos/reconnect path needs.
+	_ = os.Remove(path) // best-effort: ListenUnix reports any real problem
+	ln, err := net.ListenUnix("unix", &net.UnixAddr{Name: path, Net: "unix"})
+	if err != nil {
+		return fmt.Errorf("memnode: shm listen: %w", err)
+	}
+	s.shmLn = ln
+	s.shmPath = path
+	return nil
+}
+
+// ShmAddr returns the shm negotiation socket path, or "" when the shm
+// transport is disabled.
+func (s *Server) ShmAddr() string { return s.shmPath }
+
+// shmAcceptLoop accepts shm negotiation connections, mirroring the TCP
+// accept loop (tracked in conns so Close unblocks parked handlers).
+func (s *Server) shmAcceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.shmLn.AcceptUnix()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			_ = conn.Close() // server is closing; best-effort teardown
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		//magevet:ok real network daemon: one handler goroutine per shm connection
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				_ = conn.Close() // handler is done; best-effort teardown
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.serveShmConn(conn)
+		}()
+	}
+}
+
+// helloBody builds the v2 HELLO response payload: the mandatory
+// magic+version, then — when the shm transport is live — a flags word,
+// the per-server token, and the negotiation socket path. Clients that
+// predate the extension validate only the first 16 bytes and ignore
+// the rest, so advertising shm is invisible to them.
+func (s *Server) helloBody() []byte {
+	if s.shmLn == nil {
+		resp := make([]byte, helloRespLen)
+		binary.LittleEndian.PutUint64(resp[0:], helloMagic)
+		binary.LittleEndian.PutUint64(resp[8:], protoV2)
+		return resp
+	}
+	path := s.shmPath
+	resp := make([]byte, helloRespLen+8+8+2+len(path))
+	binary.LittleEndian.PutUint64(resp[0:], helloMagic)
+	binary.LittleEndian.PutUint64(resp[8:], protoV2)
+	binary.LittleEndian.PutUint64(resp[16:], helloFlagShm)
+	binary.LittleEndian.PutUint64(resp[24:], s.shmToken)
+	binary.LittleEndian.PutUint16(resp[32:], uint16(len(path)))
+	copy(resp[34:], path)
+	return resp
+}

@@ -1,0 +1,8 @@
+//go:build linux && amd64
+
+package memnode
+
+// memfd_create on linux/amd64. The stdlib syscall package predates the
+// call, so the number is carried here; zero means "use the tmpfile
+// fallback" on architectures without an entry.
+const sysMemfdCreate uintptr = 319

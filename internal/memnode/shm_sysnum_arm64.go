@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package memnode
+
+// memfd_create on linux/arm64.
+const sysMemfdCreate uintptr = 279

@@ -1,0 +1,7 @@
+//go:build linux && !amd64 && !arm64
+
+package memnode
+
+// No memfd_create number carried for this architecture; the unlinked
+// tmpfile fallback in shmCreateSegment is used instead.
+const sysMemfdCreate uintptr = 0
