@@ -39,13 +39,47 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
+// ClusterTopology records the shape of a clustered-memnode benchmark:
+// the cluster benches print one "cluster-topology: bench=... shards=N
+// replicas=R transport=..." line per run so a snapshot says what
+// topology its failover numbers were measured against.
+type ClusterTopology struct {
+	Bench     string `json:"bench"`
+	Shards    int    `json:"shards"`
+	Replicas  int    `json:"replicas"`
+	Transport string `json:"transport,omitempty"`
+}
+
 // Snapshot is the full parsed run.
 type Snapshot struct {
-	GoOS      string   `json:"goos,omitempty"`
-	GoArch    string   `json:"goarch,omitempty"`
-	CPU       string   `json:"cpu,omitempty"`
-	Results   []Result `json:"results"`
-	FailLines []string `json:"fail_lines,omitempty"`
+	GoOS      string            `json:"goos,omitempty"`
+	GoArch    string            `json:"goarch,omitempty"`
+	CPU       string            `json:"cpu,omitempty"`
+	Results   []Result          `json:"results"`
+	Clusters  []ClusterTopology `json:"clusters,omitempty"`
+	FailLines []string          `json:"fail_lines,omitempty"`
+}
+
+// parseTopology parses one "cluster-topology: k=v ..." line.
+func parseTopology(line string) (ClusterTopology, bool) {
+	var ct ClusterTopology
+	for _, kv := range strings.Fields(line) {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "bench":
+			ct.Bench = v
+		case "shards":
+			ct.Shards, _ = strconv.Atoi(v)
+		case "replicas":
+			ct.Replicas, _ = strconv.Atoi(v)
+		case "transport":
+			ct.Transport = v
+		}
+	}
+	return ct, ct.Bench != ""
 }
 
 // parseLine parses one "BenchmarkX-8  N  12.3 ns/op  45 u/s" line.
@@ -97,6 +131,21 @@ func parse(in io.Reader) (Snapshot, error) {
 			snap.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "--- FAIL") || strings.HasPrefix(line, "FAIL"):
 			snap.FailLines = append(snap.FailLines, line)
+		case strings.HasPrefix(line, "cluster-topology: "):
+			if ct, ok := parseTopology(strings.TrimPrefix(line, "cluster-topology: ")); ok {
+				// A bench run repeats for timing refinement; one topology
+				// line per benchmark is enough.
+				dup := false
+				for _, have := range snap.Clusters {
+					if have == ct {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					snap.Clusters = append(snap.Clusters, ct)
+				}
+			}
 		default:
 			if r, ok := parseLine(line); ok {
 				r.Pkg = pkg

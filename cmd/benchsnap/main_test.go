@@ -158,3 +158,35 @@ BenchmarkMemnodePipeline-8   	  500000	      6500 ns/op	 630.15 MB/s	    215000 
 		}
 	}
 }
+
+// TestParseClusterTopology: the clustered-memnode benches print one
+// "cluster-topology:" line per run; the snapshot must record it once
+// (deduplicated across timing-refinement reruns) alongside the pinned
+// failover metrics.
+func TestParseClusterTopology(t *testing.T) {
+	const in = `goos: linux
+pkg: mage/internal/memcluster
+cluster-topology: bench=BenchmarkClusterFailoverRead shards=3 replicas=2 transport=tcp
+cluster-topology: bench=BenchmarkClusterFailoverRead shards=3 replicas=2 transport=tcp
+BenchmarkClusterFailoverRead-8   	   88767	      6427 ns/op	       966.7 p99-us	    155593 pages/s
+`
+	snap, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Clusters) != 1 {
+		t.Fatalf("clusters = %+v, want one deduplicated entry", snap.Clusters)
+	}
+	ct := snap.Clusters[0]
+	if ct.Bench != "BenchmarkClusterFailoverRead" || ct.Shards != 3 || ct.Replicas != 2 || ct.Transport != "tcp" {
+		t.Fatalf("topology = %+v", ct)
+	}
+	if len(snap.Results) != 1 || snap.Results[0].Metrics["p99-us"] != 966.7 {
+		t.Fatalf("results = %+v", snap.Results)
+	}
+	var out, errw bytes.Buffer
+	if code := run(strings.NewReader(in), &out, &errw,
+		"BenchmarkClusterFailoverRead:p99-us,BenchmarkClusterFailoverRead:pages/s"); code != 0 {
+		t.Fatalf("pinned cluster metrics reported missing: %s", &errw)
+	}
+}

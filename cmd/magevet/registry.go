@@ -95,13 +95,14 @@ var hostConcurrencyPackages = map[string]bool{
 }
 
 // lockscopePackages are the packages where mutexes legitimately appear —
-// parexp by package-wide allowance, memnode and stats via per-line
-// audits — and where lockscope therefore polices what happens while a
-// lock is held.
+// parexp by package-wide allowance, memnode, memcluster, and stats via
+// per-line audits — and where lockscope therefore polices what happens
+// while a lock is held.
 var lockscopePackages = map[string]bool{
-	"internal/parexp":  true,
-	"internal/memnode": true,
-	"internal/stats":   true,
+	"internal/parexp":     true,
+	"internal/memnode":    true,
+	"internal/memcluster": true,
+	"internal/stats":      true,
 }
 
 func appliesInternal(s pkgScope) bool { return s.isInternal }

@@ -17,6 +17,17 @@
 //
 //	memnode-bench -spawn -workers 1 -depth 32 -compare
 //
+// -cluster N leaves single-node mode entirely: it spawns N shards x
+// -replicas R in-process memory nodes and drives the sharded,
+// replicated memcluster client against them, reporting the cluster's
+// robustness counters (failovers, readmissions, resynced pages) next
+// to the usual throughput/latency spread. -chaos kills one replica a
+// quarter of the way in, restarts it at the halfway mark, and fails
+// the run unless the replica is re-admitted after resync with zero
+// failed operations:
+//
+//	memnode-bench -cluster 3 -replicas 2 -chaos -region-mb 64
+//
 // Usage:
 //
 //	memnode &                                # or: memnode-bench -spawn
@@ -58,6 +69,16 @@ type report struct {
 	P90Us       float64 `json:"p90_us"`
 	P99Us       float64 `json:"p99_us"`
 	MaxUs       float64 `json:"max_us"`
+
+	// Cluster-mode extras (-cluster N): topology and the robustness
+	// counters of the sharded client.
+	Shards          int    `json:"shards,omitempty"`
+	Replicas        int    `json:"replicas,omitempty"`
+	Chaos           bool   `json:"chaos,omitempty"`
+	Failovers       uint64 `json:"failovers,omitempty"`
+	Readmissions    uint64 `json:"readmissions,omitempty"`
+	RebalancedPages uint64 `json:"rebalanced_pages,omitempty"`
+	DegradedWrites  uint64 `json:"degraded_writes,omitempty"`
 }
 
 type config struct {
@@ -87,6 +108,9 @@ func main() {
 		compare   = flag.Bool("compare", false, "run the workload over tcp and shm and report both with the ratio")
 		jsonOut   = flag.Bool("json", false, "emit a single JSON report on stdout")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		cluster   = flag.Int("cluster", 0, "shard count: spawn an in-process sharded cluster and drive the memcluster client")
+		replicas  = flag.Int("replicas", 2, "replicas per shard in -cluster mode")
+		chaos     = flag.Bool("chaos", false, "cluster mode: kill one replica mid-run, restart it, and require re-admission")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -138,6 +162,19 @@ func main() {
 	cfg := config{
 		workers: *workers, depth: *depth, batch: *batch, ops: *ops,
 		writeFrac: *writeFrac, regionMB: *regionMB, pageBytes: *pageBytes, seed: *seed,
+	}
+
+	if *cluster > 0 {
+		r, err := runCluster(cfg, *cluster, *replicas, *chaos, *jsonOut)
+		if err != nil {
+			log.Fatalf("memnode-bench: cluster: %v", err)
+		}
+		if *jsonOut {
+			emitJSON(r)
+			return
+		}
+		printReport(r)
+		return
 	}
 
 	if *compare {
@@ -384,4 +421,9 @@ func printReport(r report) {
 	fmt.Printf("throughput: %.0f ops/s, %.0f pages/s, %.1f MiB/s\n", r.OpsPerSec, r.PagesPerSec, r.MiBPerSec)
 	fmt.Printf("latency:    p50=%.0fus p90=%.0fus p99=%.0fus max=%.0fus\n", r.P50Us, r.P90Us, r.P99Us, r.MaxUs)
 	fmt.Printf("allocs:     %.1f per op\n", r.AllocsPerOp)
+	if r.Shards > 0 {
+		fmt.Printf("cluster:    %d shards x %d replicas (chaos=%v)\n", r.Shards, r.Replicas, r.Chaos)
+		fmt.Printf("resilience: %d failovers, %d readmissions, %d resynced pages, %d degraded writes\n",
+			r.Failovers, r.Readmissions, r.RebalancedPages, r.DegradedWrites)
+	}
 }

@@ -13,31 +13,47 @@
 // choice. Requires Linux memfd; elsewhere "auto" degrades to TCP and
 // "shm" fails at startup.
 //
+// -nodes N spawns N independent nodes in one process, listening on
+// consecutive ports from -listen (or ephemeral ports when -listen ends
+// in :0), each serving the full -capacity-mb — the one-command way to
+// stand up a local shard set for the memcluster client
+// (internal/memcluster, memnode-bench -cluster). Every node is a
+// complete, isolated server; clustering (placement, replication,
+// failover) lives entirely in the client.
+//
 // Usage:
 //
 //	memnode -listen :7170 -capacity-mb 4096 -workers 8 -transport shm
+//	memnode -listen 127.0.0.1:7170 -capacity-mb 512 -nodes 6
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
 
 	"mage/internal/memnode"
 )
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7170", "listen address")
-		capacity  = flag.Int64("capacity-mb", 1024, "served memory capacity in MiB")
+		listen    = flag.String("listen", "127.0.0.1:7170", "listen address (with -nodes > 1: first of consecutive ports, or :0 for ephemeral)")
+		capacity  = flag.Int64("capacity-mb", 1024, "served memory capacity in MiB (per node)")
 		proto     = flag.Int("proto", 2, "max wire protocol to accept (1 = legacy stop-and-wait, 2 = pipelined)")
 		workers   = flag.Int("workers", 0, "per-connection worker pool for pipelined ops (0 = default)")
 		transport = flag.String("transport", "tcp", "data planes to offer: tcp, shm, or auto (shm = offer the shared-memory ring to same-host clients, requires Linux memfd; auto = offer it when the platform supports it)")
+		nodes     = flag.Int("nodes", 1, "independent nodes to run in this process (a local shard set for the cluster client)")
 	)
 	flag.Parse()
 	if *proto != 1 && *proto != 2 {
 		log.Fatalf("memnode: -proto must be 1 or 2, got %d", *proto)
+	}
+	if *nodes < 1 {
+		log.Fatalf("memnode: -nodes must be >= 1, got %d", *nodes)
 	}
 	var enableShm bool
 	switch *transport {
@@ -48,29 +64,72 @@ func main() {
 		log.Fatalf("memnode: -transport must be tcp, shm, or auto, got %q", *transport)
 	}
 
-	srv, err := memnode.NewServerOptions(*listen, *capacity<<20, memnode.ServerOptions{
-		MaxProtocol: *proto,
-		Workers:     *workers,
-		EnableShm:   enableShm,
-	})
+	addrs, err := nodeAddrs(*listen, *nodes)
 	if err != nil {
 		log.Fatalf("memnode: %v", err)
 	}
-	if *transport == "shm" && srv.ShmAddr() == "" {
-		_ = srv.Close()
-		log.Fatal("memnode: -transport shm requires Linux memfd support, which this platform lacks (use auto for best-effort)")
-	}
-	if srv.ShmAddr() != "" {
-		log.Printf("memnode: serving %d MiB on %s (max proto v%d, shm doorbell %s)", *capacity, srv.Addr(), *proto, srv.ShmAddr())
-	} else {
-		log.Printf("memnode: serving %d MiB on %s (max proto v%d)", *capacity, srv.Addr(), *proto)
+	var srvs []*memnode.Server
+	for _, addr := range addrs {
+		srv, err := memnode.NewServerOptions(addr, *capacity<<20, memnode.ServerOptions{
+			MaxProtocol: *proto,
+			Workers:     *workers,
+			EnableShm:   enableShm,
+		})
+		if err != nil {
+			for _, s := range srvs {
+				_ = s.Close()
+			}
+			log.Fatalf("memnode: %v", err)
+		}
+		srvs = append(srvs, srv)
+		if *transport == "shm" && srv.ShmAddr() == "" {
+			for _, s := range srvs {
+				_ = s.Close()
+			}
+			log.Fatal("memnode: -transport shm requires Linux memfd support, which this platform lacks (use auto for best-effort)")
+		}
+		if srv.ShmAddr() != "" {
+			log.Printf("memnode: serving %d MiB on %s (max proto v%d, shm doorbell %s)", *capacity, srv.Addr(), *proto, srv.ShmAddr())
+		} else {
+			log.Printf("memnode: serving %d MiB on %s (max proto v%d)", *capacity, srv.Addr(), *proto)
+		}
 	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
 	log.Print("memnode: shutting down")
-	if err := srv.Close(); err != nil {
-		log.Printf("memnode: close: %v", err)
+	for _, srv := range srvs {
+		if err := srv.Close(); err != nil {
+			log.Printf("memnode: close: %v", err)
+		}
 	}
+}
+
+// nodeAddrs expands a base listen address into n addresses: port 0
+// repeats (the kernel assigns each), a concrete port counts upward.
+func nodeAddrs(base string, n int) ([]string, error) {
+	if n == 1 {
+		return []string{base}, nil
+	}
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("-listen %q with -nodes %d: %w", base, n, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("-listen %q: bad port: %w", base, err)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		p := port
+		if port != 0 {
+			p = port + i
+			if p > 65535 {
+				return nil, fmt.Errorf("-listen %q + %d nodes overflows the port range", base, n)
+			}
+		}
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(p))
+	}
+	return addrs, nil
 }

@@ -33,6 +33,7 @@ var registry = map[string]Runner{
 	"extevict":   ExtEvictors,
 	"extacct":    ExtAccounting,
 	"extbackend": ExtBackends,
+	"extcluster": ExtCluster,
 	"extfault":   ExtFaultTolerance,
 	"claims":     Claims,
 	"colocate":   Colocate,

@@ -1,0 +1,443 @@
+package memcluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time" // tests of the real cluster client need wall-clock deadlines
+
+	"mage/internal/memcluster"
+	"mage/internal/memnode"
+)
+
+const (
+	testPage  = int64(4096)
+	testPages = int64(48)
+)
+
+// testOpts keeps failover and probing snappy under test and hands
+// probe timing to the test body (DisableProber + explicit ProbeNow).
+func testOpts() memcluster.Options {
+	return memcluster.Options{
+		PageBytes:       testPage,
+		ProbeInterval:   5 * time.Millisecond,
+		ProbeBackoffMax: 20 * time.Millisecond,
+		DisableProber:   true,
+		Node: memnode.Options{
+			DialTimeout: 250 * time.Millisecond,
+			IOTimeout:   time.Second,
+			MaxAttempts: 2,
+			BaseBackoff: 5 * time.Millisecond,
+			MaxBackoff:  20 * time.Millisecond,
+		},
+	}
+}
+
+// startServers launches shards × replicas in-process memnodes and
+// returns the server grid plus the address grid New wants.
+func startServers(t *testing.T, shards, replicas int) ([][]*memnode.Server, [][]string) {
+	t.Helper()
+	srvs := make([][]*memnode.Server, shards)
+	addrs := make([][]string, shards)
+	for s := 0; s < shards; s++ {
+		for r := 0; r < replicas; r++ {
+			srv, err := memnode.NewServer("127.0.0.1:0", 64<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+			srvs[s] = append(srvs[s], srv)
+			addrs[s] = append(addrs[s], srv.Addr())
+		}
+	}
+	return srvs, addrs
+}
+
+// pageBody builds the deterministic content of one page at a version.
+func pageBody(page int64, version byte) []byte {
+	b := make([]byte, testPage)
+	for i := range b {
+		b[i] = byte(page)*7 ^ version ^ byte(i)
+	}
+	return b
+}
+
+func writeAll(t *testing.T, cl *memcluster.Cluster, h uint64, version byte) {
+	t.Helper()
+	for p := int64(0); p < testPages; p++ {
+		if err := cl.Write(h, p*testPage, pageBody(p, version)); err != nil {
+			t.Fatalf("write page %d: %v", p, err)
+		}
+	}
+}
+
+func checkAll(t *testing.T, cl *memcluster.Cluster, h uint64, version byte) {
+	t.Helper()
+	for p := int64(0); p < testPages; p++ {
+		got, err := cl.Read(h, p*testPage, testPage)
+		if err != nil {
+			t.Fatalf("read page %d: %v", p, err)
+		}
+		if !bytes.Equal(got, pageBody(p, version)) {
+			t.Fatalf("page %d content mismatch at version %d", p, version)
+		}
+		memnode.PutBuf(got)
+	}
+}
+
+// TestClusterRoundTrip covers the basic client surface over a 2x2
+// cluster: single-page and page-straddling reads/writes plus batched
+// READV/WRITEV, all verified byte-for-byte.
+func TestClusterRoundTrip(t *testing.T) {
+	_, addrs := startServers(t, 2, 2)
+	cl, err := memcluster.New(addrs, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	h, err := cl.Register(testPages * testPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, cl, h, 1)
+	checkAll(t, cl, h, 1)
+
+	// A write straddling two ownership pages, read back as a span.
+	span := make([]byte, testPage)
+	for i := range span {
+		span[i] = byte(0xC3 ^ i)
+	}
+	off := testPage/2 + 3*testPage
+	if err := cl.Write(h, off, span); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Read(h, off, int64(len(span)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, span) {
+		t.Fatal("straddling span mismatch")
+	}
+
+	// Batched verbs across all shards at once.
+	offs := make([]int64, testPages)
+	pages := make([][]byte, testPages)
+	for p := int64(0); p < testPages; p++ {
+		offs[p] = p * testPage
+		pages[p] = pageBody(p, 9)
+	}
+	if err := cl.WriteV(h, offs, pages); err != nil {
+		t.Fatal(err)
+	}
+	bodies, err := cl.ReadV(h, offs, testPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range bodies {
+		if !bytes.Equal(bodies[p], pages[p]) {
+			t.Fatalf("readv page %d mismatch", p)
+		}
+		memnode.PutBuf(bodies[p])
+	}
+
+	st := cl.Stats()
+	if st.Shards != 2 || st.Replicas != 4 {
+		t.Fatalf("stats topology = %d/%d, want 2/4", st.Shards, st.Replicas)
+	}
+}
+
+// TestClusterProbeRefreshesWeights checks the STATS plumbing: a probe
+// sweep pulls each replica's free bytes and capacity-backed weight
+// into the selection state.
+func TestClusterProbeRefreshesWeights(t *testing.T) {
+	_, addrs := startServers(t, 1, 2)
+	cl, err := memcluster.New(addrs, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Register(testPages * testPage); err != nil {
+		t.Fatal(err)
+	}
+	cl.ProbeNow()
+	st := cl.Stats()
+	for _, rs := range st.PerShard[0].Replicas {
+		if !rs.Healthy {
+			t.Fatalf("replica %s unexpectedly down", rs.Addr)
+		}
+		if rs.FreeBytes <= 0 {
+			t.Fatalf("replica %s has no STATS weight after probe", rs.Addr)
+		}
+	}
+}
+
+// TestClusterChaosKillReplicaMidSweep is the acceptance scenario: a
+// 3-shard x 2-replica cluster loses one replica in the middle of a
+// concurrent read sweep and must finish the sweep with zero failed
+// reads (failover only). The node then restarts, must be re-admitted
+// after resync, and — with its surviving peer killed — must serve the
+// writes it missed while down, proving resync copied them.
+func TestClusterChaosKillReplicaMidSweep(t *testing.T) {
+	srvs, addrs := startServers(t, 3, 2)
+	cl, err := memcluster.New(addrs, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	h, err := cl.Register(testPages * testPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, cl, h, 1)
+
+	// Concurrent read sweep; the kill lands once the sweep is warm.
+	const readers = 4
+	var readsDone atomic.Int64
+	var sweepErr atomic.Value
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for round := 0; round < 30; round++ {
+				for p := int64(0); p < testPages; p++ {
+					got, err := cl.Read(h, p*testPage, testPage)
+					if err != nil {
+						sweepErr.CompareAndSwap(nil, fmt.Errorf("sweep read page %d: %w", p, err))
+						return
+					}
+					ok := bytes.Equal(got, pageBody(p, 1))
+					memnode.PutBuf(got)
+					if !ok {
+						sweepErr.CompareAndSwap(nil, fmt.Errorf("sweep page %d corrupt", p))
+						return
+					}
+					readsDone.Add(1)
+				}
+			}
+		}()
+	}
+	close(start)
+	// Kill one replica of shard 0 strictly mid-sweep: after the sweep
+	// has demonstrably started but long before it can finish.
+	for readsDone.Load() < testPages {
+		runtime.Gosched()
+	}
+	killedAddr := srvs[0][0].Addr()
+	srvs[0][0].Close()
+	wg.Wait()
+	if err, _ := sweepErr.Load().(error); err != nil {
+		t.Fatalf("read failed during single-replica outage: %v", err)
+	}
+
+	// Writes the dead replica misses; its peer carries them.
+	writeAll(t, cl, h, 2)
+
+	// Restart on the same address and poll for re-admission. The bind
+	// can race the dying listener, so restarting is itself a poll.
+	deadline := time.Now().Add(15 * time.Second)
+	var restarted *memnode.Server
+	for restarted == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("could not rebind the killed replica's address")
+		}
+		restarted, _ = memnode.NewServer(killedAddr, 64<<20)
+		if restarted == nil {
+			runtime.Gosched()
+		}
+	}
+	defer restarted.Close()
+	for cl.Stats().Readmissions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica not re-admitted; stats: %+v", cl.Stats())
+		}
+		cl.ProbeNow()
+	}
+
+	// Kill the surviving peer: shard 0 now serves only from the
+	// re-admitted replica, which must have the version-2 writes it
+	// missed while down.
+	srvs[0][1].Close()
+	checkAll(t, cl, h, 2)
+
+	st := cl.Stats()
+	if st.Failovers == 0 {
+		t.Fatal("expected data-path failovers during the outage")
+	}
+	if st.Readmissions == 0 || st.RebalancedPages == 0 {
+		t.Fatalf("resync left no trace: %+v", st)
+	}
+}
+
+// TestClusterStartsWithDeadReplica checks graceful degradation at
+// dial time: a cluster comes up with one replica down (and serves)
+// as long as every shard keeps one live replica.
+func TestClusterStartsWithDeadReplica(t *testing.T) {
+	srvs, addrs := startServers(t, 2, 2)
+	srvs[1][0].Close()
+	cl, err := memcluster.New(addrs, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	h, err := cl.Register(testPages * testPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, cl, h, 5)
+	checkAll(t, cl, h, 5)
+
+	// A shard with no live replica at all must refuse to come up.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+	if _, err := memcluster.New([][]string{{deadAddr}}, testOpts()); err == nil {
+		t.Fatal("cluster with an all-dead shard should not start")
+	}
+}
+
+// TestClusterRebalance grows a 2-shard cluster by one shard under a
+// live writer, then shrinks it back, verifying the data survives both
+// migrations byte-for-byte and that the join moved a bounded slice of
+// pages rather than reshuffling everything.
+func TestClusterRebalance(t *testing.T) {
+	_, addrs := startServers(t, 2, 1)
+	cl, err := memcluster.New(addrs, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	h, err := cl.Register(testPages * testPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, cl, h, 3)
+
+	// A live writer keeps mutating a few pages during the join so the
+	// migration dirty log and settle pass see real traffic.
+	stop := make(chan struct{})
+	var writerErr error
+	var writerWG sync.WaitGroup
+	final := make([]byte, 0)
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		v := byte(10)
+		for {
+			select {
+			case <-stop:
+				final = pageBody(0, v)
+				return
+			default:
+			}
+			v++
+			if err := cl.Write(h, 0, pageBody(0, v)); err != nil {
+				writerErr = err
+				final = pageBody(0, v)
+				return
+			}
+		}
+	}()
+
+	joinSrv, err := memnode.NewServer("127.0.0.1:0", 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joinSrv.Close()
+	if err := cl.AddShard([]string{joinSrv.Addr()}); err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	close(stop)
+	writerWG.Wait()
+	if writerErr != nil {
+		t.Fatalf("writer failed during join: %v", writerErr)
+	}
+
+	st := cl.Stats()
+	if st.Shards != 3 {
+		t.Fatalf("shards = %d after join, want 3", st.Shards)
+	}
+	moved := st.RebalancedPages
+	if moved == 0 {
+		t.Fatal("join moved no pages")
+	}
+	if moved > uint64(testPages)*3/4 {
+		t.Fatalf("join moved %d of %d pages — migration not bounded", moved, testPages)
+	}
+	// Page 0 must read back as the writer's final version, wherever it
+	// landed; every other page is still version 3.
+	got, err := cl.Read(h, 0, testPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, final) {
+		t.Fatal("page 0 lost its last pre-join write")
+	}
+	memnode.PutBuf(got)
+	for p := int64(1); p < testPages; p++ {
+		got, err := cl.Read(h, p*testPage, testPage)
+		if err != nil {
+			t.Fatalf("read page %d after join: %v", p, err)
+		}
+		if !bytes.Equal(got, pageBody(p, 3)) {
+			t.Fatalf("page %d corrupt after join", p)
+		}
+		memnode.PutBuf(got)
+	}
+
+	// Shrink back out: the joined shard's pages migrate home.
+	writeAll(t, cl, h, 4)
+	if err := cl.RemoveShard(2); err != nil {
+		t.Fatalf("RemoveShard: %v", err)
+	}
+	if got := cl.Stats().Shards; got != 2 {
+		t.Fatalf("shards = %d after leave, want 2", got)
+	}
+	checkAll(t, cl, h, 4)
+}
+
+// TestClusterCloseReleasesGoroutines guards the prober and per-node
+// client teardown: repeated cluster create/close cycles (with the
+// background prober ON) must not leak goroutines.
+func TestClusterCloseReleasesGoroutines(t *testing.T) {
+	_, addrs := startServers(t, 2, 2)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		opts := testOpts()
+		opts.DisableProber = false
+		cl, err := memcluster.New(addrs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := cl.Register(4 * testPage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Write(h, 0, pageBody(0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

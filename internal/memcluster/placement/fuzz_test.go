@@ -1,0 +1,82 @@
+package placement
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzShardOf: any (key, n) pair must map into [0, n) for positive n
+// and -1 otherwise, and the mapping must be stable call to call.
+func FuzzShardOf(f *testing.F) {
+	f.Add(uint64(0), 1)
+	f.Add(uint64(1)<<63, 3)
+	f.Add(^uint64(0), 1024)
+	f.Add(uint64(42), 0)
+	f.Add(uint64(42), -7)
+	f.Fuzz(func(t *testing.T, key uint64, n int) {
+		if n > 1<<16 {
+			n = 1 << 16 // bound the O(n) scan, not the property
+		}
+		s := ShardOf(key, n)
+		if n <= 0 {
+			if s != -1 {
+				t.Fatalf("ShardOf(%#x, %d) = %d, want -1", key, n, s)
+			}
+			return
+		}
+		if s < 0 || s >= n {
+			t.Fatalf("ShardOf(%#x, %d) = %d out of range", key, n, s)
+		}
+		if again := ShardOf(key, n); again != s {
+			t.Fatalf("ShardOf unstable: %d then %d", s, again)
+		}
+	})
+}
+
+// FuzzSelectReplica feeds hostile STATS-derived weights (zero,
+// negative, maximal) and arbitrary health masks: selection must never
+// panic, never return an out-of-range index, never pick an unhealthy
+// replica, and must return -1 exactly when nothing is selectable.
+func FuzzSelectReplica(f *testing.F) {
+	f.Add(uint64(7), 0, []byte{8, 0, 0, 0, 0, 0, 0, 0, 1}, []byte{1})
+	f.Add(^uint64(0), 1, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1, 1}, []byte{1, 0})
+	f.Add(uint64(3), -5, []byte{}, []byte{1, 1, 1})
+	f.Fuzz(func(t *testing.T, key uint64, attempt int, weightBytes, healthBytes []byte) {
+		if len(weightBytes) > 8*64 {
+			weightBytes = weightBytes[:8*64]
+		}
+		if len(healthBytes) > 64 {
+			healthBytes = healthBytes[:64]
+		}
+		weights := make([]int64, len(weightBytes)/8)
+		for i := range weights {
+			weights[i] = int64(binary.LittleEndian.Uint64(weightBytes[8*i:]))
+		}
+		healthy := make([]bool, len(healthBytes))
+		for i := range healthy {
+			healthy[i] = healthBytes[i]&1 == 1
+		}
+		i := SelectReplica(key, attempt, weights, healthy)
+		n := len(healthy)
+		if len(weights) < n {
+			n = len(weights)
+		}
+		selectable := false
+		for j := 0; j < n; j++ {
+			selectable = selectable || healthy[j]
+		}
+		switch {
+		case i == -1:
+			if selectable {
+				t.Fatalf("returned -1 with healthy replicas (weights %v, healthy %v)", weights, healthy)
+			}
+		case i < 0 || i >= n:
+			t.Fatalf("index %d out of range %d", i, n)
+		case !healthy[i]:
+			t.Fatalf("selected unhealthy replica %d", i)
+		}
+		if again := SelectReplica(key, attempt, weights, healthy); again != i {
+			t.Fatalf("selection unstable: %d then %d", i, again)
+		}
+	})
+}

@@ -144,6 +144,17 @@ func (e *serverError) Error() string { return "memnode: " + e.msg }
 // statusErrRegion.
 var errRegionLost = errors.New("memnode: server lost region")
 
+// IsTerminal reports whether err is a terminal server rejection: the
+// request was understood and refused (bad bounds, bad opcode, capacity)
+// over a healthy connection. Layered clients (memcluster) use this to
+// distinguish "this op can never succeed" from "this node is in
+// trouble" — only the latter justifies failover and marking the node
+// down.
+func IsTerminal(err error) bool {
+	var se *serverError
+	return errors.As(err, &se)
+}
+
 // call is one operation attempt as the stream layer sees it: the wire
 // fields, the payload vectors to writev after the header, and the
 // completion state the reader fills in.
@@ -1287,4 +1298,26 @@ func (c *Client) Stat() (Stats, error) {
 	}
 	PutBuf(body)
 	return st, nil
+}
+
+// Probe issues the lightweight STATS verb and returns the node's
+// health/load sample. It rides the normal op path (window slot,
+// deadline, retry), so against a dead node it fails within the
+// client's configured attempt budget — which is exactly the signal a
+// cluster health prober wants.
+func (c *Client) Probe() (HealthStats, error) {
+	body, err := c.doPooled(call{op: opProbe})
+	if err != nil {
+		return HealthStats{}, err
+	}
+	if len(body) != probeRespLen {
+		return HealthStats{}, fmt.Errorf("memnode: short stats response (%d bytes)", len(body))
+	}
+	h := HealthStats{
+		FreeBytes:     int64(binary.LittleEndian.Uint64(body[0:])),
+		InFlight:      int64(binary.LittleEndian.Uint64(body[8:])),
+		CapacityBytes: int64(binary.LittleEndian.Uint64(body[16:])),
+	}
+	PutBuf(body)
+	return h, nil
 }

@@ -17,14 +17,19 @@ import (
 
 // stallListener accepts connections, completes the v2 negotiation, then
 // swallows every request without ever responding — the pathological
-// server the Close-mid-flight regression needs.
-func stallListener(t *testing.T) string {
+// server the Close-mid-flight regression needs. The returned channel
+// closes when the first post-negotiation request byte arrives, so the
+// test can wait for "an op is on the wire and stalled" as an observed
+// condition instead of a guessed sleep.
+func stallListener(t *testing.T) (string, <-chan struct{}) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ln.Close() })
+	stalled := make(chan struct{})
+	var once sync.Once
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -45,11 +50,16 @@ func stallListener(t *testing.T) string {
 				if _, err := conn.Write(resp[:]); err != nil {
 					return
 				}
+				var b [1]byte
+				if _, err := conn.Read(b[:]); err != nil {
+					return
+				}
+				once.Do(func() { close(stalled) })
 				io.Copy(io.Discard, conn) // stall: consume requests, answer nothing
 			}()
 		}
 	}()
-	return ln.Addr().String()
+	return ln.Addr().String(), stalled
 }
 
 // TestCloseUnblocksStalledOp is the regression test for the old
@@ -57,7 +67,7 @@ func stallListener(t *testing.T) string {
 // round trip, so Close (and Metrics) stalled behind a dead server.
 // The pipelined client keeps the lifecycle lock off the data path.
 func TestCloseUnblocksStalledOp(t *testing.T) {
-	addr := stallListener(t)
+	addr, stalled := stallListener(t)
 	opts := DefaultOptions()
 	opts.IOTimeout = 30 * time.Second // far longer than the test budget
 	opts.MaxAttempts = 100
@@ -70,7 +80,11 @@ func TestCloseUnblocksStalledOp(t *testing.T) {
 		_, err := c.Read(1, 0, 4096)
 		opErr <- err
 	}()
-	time.Sleep(100 * time.Millisecond) // let the op reach the wire and stall
+	select {
+	case <-stalled: // the op reached the wire and is now stalled
+	case <-time.After(5 * time.Second):
+		t.Fatal("op never reached the stalled server")
+	}
 
 	// Metrics must not block behind the stalled op.
 	mDone := make(chan struct{})

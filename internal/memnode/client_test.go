@@ -160,7 +160,13 @@ func TestClientSurvivesServerRestart(t *testing.T) {
 	restarted := make(chan struct{})
 	go func() {
 		defer close(restarted)
-		time.Sleep(150 * time.Millisecond) // simulating a real node restart window
+		// Hold the restart until the client has demonstrably issued ops
+		// into the outage (a retry is on its counters) — the condition
+		// the old fixed 150ms window was guessing at.
+		outageDl := time.Now().Add(5 * time.Second) // bounding the outage window in a real-network test
+		for c.Metrics().Retries == 0 && !time.Now().After(outageDl) {
+			time.Sleep(5 * time.Millisecond) // polling for the first retry in a real-time test
+		}
 		for i := 0; i < 100; i++ {
 			s, err := NewServer(addr, 64<<20)
 			if err == nil {
@@ -356,7 +362,21 @@ func TestCloseUnblocksIdleHandlers(t *testing.T) {
 		// Nudge the server so the accept definitely happened.
 		conn.Write([]byte{})
 	}
-	time.Sleep(50 * time.Millisecond) // let the accepts land before closing
+	// Wait for the accepts to actually land (observed in the server's
+	// connection table) rather than guessing a sleep.
+	acceptDl := time.Now().Add(5 * time.Second) // bounding the accept wait in a real-network test
+	for {
+		srv.mu.Lock()
+		n := len(srv.conns)
+		srv.mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		if time.Now().After(acceptDl) { // bounding the accept wait in a real-network test
+			t.Fatalf("server accepted %d/3 connections before deadline", n)
+		}
+		time.Sleep(5 * time.Millisecond) // polling for accepts in a real-network test
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Close() }()
 	select {

@@ -44,7 +44,14 @@ const (
 	opRead     = 2
 	opWrite    = 3
 	opStat     = 4
+	// opProbe is the STATS verb: a fixed-size health/load sample (free
+	// bytes, in-flight op depth, capacity) cheap enough to issue on a
+	// probe cadence. memcluster's replica selection runs on it.
+	opProbe = 7
 )
+
+// probeRespLen is the STATS response: free(8) inflight(8) capacity(8).
+const probeRespLen = 24
 
 // Status codes.
 const (
@@ -132,6 +139,11 @@ type Server struct {
 	WriteOps   atomic.Uint64
 	BytesRead  atomic.Uint64
 	BytesWrite atomic.Uint64
+
+	// inflight counts requests currently executing across every
+	// transport and protocol version; served by the STATS probe as the
+	// server's load signal.
+	inflight atomic.Int64
 
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -253,6 +265,12 @@ func (s *Server) serve(conn net.Conn) {
 		length := int64(binary.LittleEndian.Uint64(hdr[17:25]))
 
 		var err error
+		if op != opHello {
+			// Count every data exchange toward the STATS load signal; the
+			// HELLO negotiation is excluded (its v2 branch returns without
+			// falling through to the decrement below).
+			s.inflight.Add(1)
+		}
 		switch op {
 		case opHello:
 			// regionID carries the magic, offset the client's max version.
@@ -275,8 +293,13 @@ func (s *Server) serve(conn net.Conn) {
 			err = s.handleWrite(conn, br, regionID, offset, length)
 		case opStat:
 			err = s.handleStat(conn)
+		case opProbe:
+			err = respond(conn, s.doProbe())
 		default:
 			err = respondErr(conn, fmt.Sprintf("bad opcode %d", op))
+		}
+		if op != opHello {
+			s.inflight.Add(-1)
 		}
 		if err != nil {
 			return
@@ -549,6 +572,33 @@ func (s *Server) handleStat(conn net.Conn) error {
 	return respond(conn, s.doStat())
 }
 
+// HealthStats is the STATS probe response: the load/health sample
+// memcluster's replica selection and failure detection run on. One
+// mutex acquisition and two atomic loads per probe — cheap enough for
+// a sub-second cadence against a loaded node.
+type HealthStats struct {
+	// FreeBytes is the unregistered remainder of the node's capacity.
+	FreeBytes int64
+	// InFlight is the number of requests executing at sample time
+	// (including the probe itself).
+	InFlight int64
+	// CapacityBytes is the node's total configured capacity.
+	CapacityBytes int64
+}
+
+// doProbe builds the STATS response. Shared by the v1, v2, and shm
+// dispatch paths.
+func (s *Server) doProbe() []byte {
+	s.mu.Lock()
+	free := s.capacity - s.used
+	s.mu.Unlock()
+	buf := make([]byte, probeRespLen)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(free))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(s.inflight.Load()))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(s.capacity))
+	return buf
+}
+
 // v2req is one decoded v2 request frame handed to the worker pool.
 type v2req struct {
 	op       byte
@@ -758,6 +808,8 @@ func (s *Server) serveV2(conn net.Conn, br *bufio.Reader) {
 // execV2 executes one decoded request and builds its response frame,
 // recycling the request payload.
 func (s *Server) execV2(r *v2req) *v2resp {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	resp := &v2resp{id: r.id}
 	var code byte
 	var msg string
@@ -780,6 +832,8 @@ func (s *Server) execV2(r *v2req) *v2resp {
 		code, msg = s.doWriteV(r.regionID, r.payload)
 	case opStat:
 		resp.body, code = s.doStat(), statusOK
+	case opProbe:
+		resp.body, code = s.doProbe(), statusOK
 	default:
 		code, msg = statusErr, fmt.Sprintf("bad opcode %d", r.op)
 	}

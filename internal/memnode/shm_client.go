@@ -290,6 +290,8 @@ func needBytes(ca *call) int64 {
 		return 8
 	case opStat:
 		return 48
+	case opProbe:
+		return probeRespLen
 	case opReadV:
 		var total int64
 		for _, v := range ca.iovs {

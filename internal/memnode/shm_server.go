@@ -256,6 +256,8 @@ func (h *shmConn) complete(e cqEntry) error {
 // submission's own extent.
 func (h *shmConn) exec(e sqEntry) (byte, int64) {
 	s := h.s
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	ext := h.arena[e.extOff : e.extOff+e.extCap]
 	switch e.op {
 	case opRegister:
@@ -363,6 +365,12 @@ func (h *shmConn) exec(e sqEntry) (byte, int64) {
 		body := s.doStat()
 		if len(body) > len(ext) {
 			return shmErr(ext, statusErr, "stat: extent too small")
+		}
+		return statusOK, int64(copy(ext, body))
+	case opProbe:
+		body := s.doProbe()
+		if len(body) > len(ext) {
+			return shmErr(ext, statusErr, "stats: extent too small")
 		}
 		return statusOK, int64(copy(ext, body))
 	default:

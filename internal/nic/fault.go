@@ -87,10 +87,19 @@ func (n *NIC) TryReadWith(p *sim.Proc, bytes int64, timeout sim.Time, inj *fault
 // fabric lost it); failed writes never count toward Writes/BytesWritten.
 // With no injector attached it is exactly PostWrite.
 func (n *NIC) TryPostWrite(p *sim.Proc, bytes int64, timeout sim.Time) *Completion {
-	if n.inj == nil {
+	return n.TryPostWriteWith(p, bytes, timeout, n.inj)
+}
+
+// TryPostWriteWith is TryPostWrite under an explicit injector — the
+// clustered-memnode mirror uses it to run each replica's writes
+// through that replica's own fault schedule while every replica
+// shares the NIC's serialization and counters. A nil inj is exactly
+// PostWrite.
+func (n *NIC) TryPostWriteWith(p *sim.Proc, bytes int64, timeout sim.Time, inj *faultinject.Injector) *Completion {
+	if inj == nil {
 		return n.PostWrite(p, bytes)
 	}
-	o := n.inj.WriteOutcome(p.Now())
+	o := inj.WriteOutcome(p.Now())
 	n.hostPost(p)
 	c := &Completion{q: sim.NewWaitQueue(n.eng, "wr-completion")}
 	issued := p.Now()
