@@ -316,6 +316,13 @@ func (cl *Cluster) checkClosed() error {
 // so any node can serve any page it owns without translation.
 // Replicas that are down (or fail the register) are left without a
 // handle; resync registers the region before re-admitting them.
+//
+// Registration is not atomic across shards: when it fails because a
+// shard's replicas all refused, regions already created on earlier
+// shards' nodes stay allocated (the wire protocol has no UNREGISTER
+// verb, so there is nothing to roll back with) until those nodes
+// restart. Treat a failed Register as the capacity/outage signal it
+// is rather than retrying it in a tight loop.
 func (cl *Cluster) Register(size int64) (uint64, error) {
 	if err := cl.checkClosed(); err != nil {
 		return 0, err
@@ -342,6 +349,9 @@ func (cl *Cluster) Register(size int64) (uint64, error) {
 			ok++
 		}
 		if ok == 0 {
+			// Known leak: handles already granted by earlier shards' nodes
+			// are abandoned here (no UNREGISTER verb exists). See the doc
+			// comment above.
 			return 0, fmt.Errorf("memcluster: shard %d: register failed on every replica", si)
 		}
 	}
@@ -490,10 +500,18 @@ func (cl *Cluster) writeOne(reg *cregion, sh *shard, shardIdx int, key uint64, o
 		}
 		pends = append(pends, pend{r, r.c.WriteAsync(h, off, data)})
 	}
+	// Drain every pending even on a terminal error: an unwaited pending
+	// still references the caller's data buffer, and a sibling replica
+	// that did apply the write must be dirty-logged for any in-flight
+	// resync before this function returns.
+	var termErr error
 	for _, p := range pends {
 		if _, err := p.p.Wait(); err != nil {
 			if memnode.IsTerminal(err) {
-				return err
+				if termErr == nil {
+					termErr = err
+				}
+				continue
 			}
 			cl.markDown(sh, p.r, true)
 			lastErr = err
@@ -502,6 +520,9 @@ func (cl *Cluster) writeOne(reg *cregion, sh *shard, shardIdx int, key uint64, o
 		acks++
 	}
 	cl.logDirty(sh, key)
+	if termErr != nil {
+		return termErr
+	}
 	if acks == 0 {
 		if lastErr == nil {
 			lastErr = errors.New("no healthy replica")
@@ -787,7 +808,7 @@ func (cl *Cluster) WriteV(handle uint64, offsets []int64, pages [][]byte) error 
 func (cl *Cluster) writeVShard(reg *cregion, sh *shard, shardIdx int, keys []uint64, offs []int64, pgs [][]byte) error {
 	reps, _, healthy := snapshotReplicas(sh)
 	acks := 0
-	var lastErr error
+	var lastErr, termErr error
 	for i, r := range reps {
 		if !healthy[i] {
 			continue
@@ -798,7 +819,12 @@ func (cl *Cluster) writeVShard(reg *cregion, sh *shard, shardIdx int, keys []uin
 		}
 		if err := r.c.WriteV(h, offs, pgs); err != nil {
 			if memnode.IsTerminal(err) {
-				return err
+				// Stop replicating (the same arguments would fail the same
+				// way) but fall through to the dirty log: a replica that
+				// already acked must not leave the batch unlogged for an
+				// in-flight resync.
+				termErr = err
+				break
 			}
 			cl.markDown(sh, r, true)
 			lastErr = err
@@ -808,6 +834,9 @@ func (cl *Cluster) writeVShard(reg *cregion, sh *shard, shardIdx int, keys []uin
 	}
 	for _, k := range keys {
 		cl.logDirty(sh, k)
+	}
+	if termErr != nil {
+		return termErr
 	}
 	if acks == 0 {
 		if lastErr == nil {

@@ -275,6 +275,141 @@ func TestClusterChaosKillReplicaMidSweep(t *testing.T) {
 	}
 }
 
+// TestClusterResyncCoversLateRegions pins resync's no-missed-write
+// guarantee for regions registered AFTER a resync began: their writes
+// go only to healthy replicas, so they must reach the resyncing
+// replica through the dirty-log settle passes (resolved against the
+// live region table, not the bulk copy's snapshot). The test kills
+// and restarts one replica of shard 0, registers + writes a fresh
+// region while the resync is provably still running, then kills the
+// surviving peer and reads the region back: pages shard 0 owns can
+// only come from the re-admitted replica, so a miss surfaces as
+// zero-filled data. The overlap is proven, not assumed — the cycle
+// retries until the late writes complete while Stats still reports
+// the replica resyncing (completion happens-before that observation,
+// which happens-before admission).
+func TestClusterResyncCoversLateRegions(t *testing.T) {
+	srvs, addrs := startServers(t, 3, 2)
+	cl, err := memcluster.New(addrs, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// A big region stretches the resync bulk copy into a window wide
+	// enough to register and write a small region inside it. Its
+	// content is irrelevant (zero everywhere); only its size matters.
+	const bigPages = 8192
+	if _, err := cl.Register(bigPages * testPage); err != nil {
+		t.Fatal(err)
+	}
+	const latePages = int64(24)
+	target := srvs[0][0]
+	targetAddr := target.Addr()
+	replicaStats := func() (memcluster.ReplicaStats, bool) {
+		for _, rs := range cl.Stats().PerShard[0].Replicas {
+			if rs.Addr == targetAddr {
+				return rs, true
+			}
+		}
+		return memcluster.ReplicaStats{}, false
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var lateH uint64
+	var lateV byte
+	overlapped := false
+	for cycle := 0; !overlapped; cycle++ {
+		if time.Now().After(deadline) {
+			t.Fatal("could not overlap a Register with a resync window")
+		}
+		target.Close()
+		// Demote: probe sweeps against the dead server mark it down.
+		for {
+			cl.ProbeNow()
+			if rs, ok := replicaStats(); ok && !rs.Healthy {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("killed replica never demoted")
+			}
+		}
+		// Restart on the same address; the bind can race the dying
+		// listener, so restarting is itself a poll.
+		var restarted *memnode.Server
+		for restarted == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("could not rebind the killed replica's address")
+			}
+			restarted, _ = memnode.NewServer(targetAddr, 64<<20)
+			if restarted == nil {
+				runtime.Gosched()
+			}
+		}
+		target = restarted
+		defer restarted.Close()
+		// Drive re-admission from a background goroutine: the resync runs
+		// synchronously inside one of these ProbeNow calls, and the main
+		// goroutine races a Register+write burst into its copy window.
+		base := cl.Stats().Readmissions
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for cl.Stats().Readmissions == base {
+				cl.ProbeNow()
+				runtime.Gosched()
+			}
+		}()
+		sawResync := false
+		for {
+			rs, ok := replicaStats()
+			if ok && rs.Resyncing {
+				sawResync = true
+				break
+			}
+			if ok && rs.Healthy {
+				break // resync finished before we caught it; retry
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("replica neither resyncing nor re-admitted")
+			}
+			runtime.Gosched()
+		}
+		if sawResync {
+			v := byte(100 + cycle)
+			h, err := cl.Register(latePages * testPage)
+			if err != nil {
+				t.Fatalf("mid-resync register: %v", err)
+			}
+			for p := int64(0); p < latePages; p++ {
+				if err := cl.Write(h, p*testPage, pageBody(p, v)); err != nil {
+					t.Fatalf("mid-resync write page %d: %v", p, err)
+				}
+			}
+			// Only if the replica is STILL resyncing after the last write
+			// completed did the whole burst land inside the window.
+			if rs, ok := replicaStats(); ok && rs.Resyncing {
+				lateH, lateV = h, v
+				overlapped = true
+			}
+		}
+		<-done // resync finished; the replica is re-admitted
+	}
+
+	// Shard 0 now serves only from the re-admitted replica; the pages
+	// it owns must carry the writes made mid-resync.
+	srvs[0][1].Close()
+	for p := int64(0); p < latePages; p++ {
+		got, err := cl.Read(lateH, p*testPage, testPage)
+		if err != nil {
+			t.Fatalf("read late page %d: %v", p, err)
+		}
+		if !bytes.Equal(got, pageBody(p, lateV)) {
+			t.Fatalf("late-region page %d lost its mid-resync write", p)
+		}
+		memnode.PutBuf(got)
+	}
+}
+
 // TestClusterStartsWithDeadReplica checks graceful degradation at
 // dial time: a cluster comes up with one replica down (and serves)
 // as long as every shard keeps one live replica.

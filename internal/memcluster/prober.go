@@ -14,7 +14,13 @@
 // and the final settle pass runs under the cluster's topology write
 // lock, which drains all in-flight ops. Every write therefore either
 // lands before the bulk copy reads the page, or is in the dirty log
-// when the final pass copies it — a missed write is impossible.
+// when the final pass copies it — a missed write is impossible. That
+// includes regions registered after the resync began: their writes are
+// dirty-logged like any other, and the settle passes resolve dirty
+// keys against the live region table (registering the region on the
+// target if its own Register attempt missed it), never against the
+// bulk copy's snapshot. Unwritten pages of such regions are zero on
+// every replica, so the dirty set is exactly what needs copying.
 package memcluster
 
 import (
@@ -162,6 +168,26 @@ func (cl *Cluster) readmit(sh *shard, r *replica) error {
 		cl.topoMu.RUnlock()
 		return nil
 	}
+	// Open the dirty log first, atomically with claiming the resync: a
+	// user-driven ProbeNow can race the background prober's sweep, and
+	// two overlapping resyncs of one replica would clobber each other's
+	// dirty log. Opening it this early only means a few extra logged
+	// keys, which the settle passes re-copy harmlessly.
+	sh.mu.Lock()
+	if r.resyncing || r.healthy {
+		sh.mu.Unlock()
+		cl.topoMu.RUnlock()
+		return nil
+	}
+	r.resyncing = true
+	r.dirty = make(map[uint64]struct{})
+	sh.mu.Unlock()
+	sh.resyncCount.Add(1)
+	abort := func(err error) error {
+		closeResync(sh, r)
+		cl.topoMu.RUnlock()
+		return err
+	}
 	// Register missing regions first (the node may have restarted and
 	// lost everything it knew).
 	cl.regMu.Lock()
@@ -176,24 +202,11 @@ func (cl *Cluster) readmit(sh *shard, r *replica) error {
 		}
 		h, err := r.c.Register(reg.size)
 		if err != nil {
-			cl.topoMu.RUnlock()
-			return err
+			return abort(err)
 		}
 		cl.regMu.Lock()
 		reg.setHandle(r, h)
 		cl.regMu.Unlock()
-	}
-	// Open the dirty log before the bulk copy: every write completing
-	// from here on is either visible to the copy or logged.
-	sh.mu.Lock()
-	r.resyncing = true
-	r.dirty = make(map[uint64]struct{})
-	sh.mu.Unlock()
-	sh.resyncCount.Add(1)
-	abort := func(err error) error {
-		closeResync(sh, r)
-		cl.topoMu.RUnlock()
-		return err
 	}
 	// Bulk copy: every page this shard owns, batched.
 	for handle, reg := range regs { //magevet:ok regions copy independently; order cannot affect the result
@@ -223,7 +236,7 @@ func (cl *Cluster) readmit(sh *shard, r *replica) error {
 			round = 2 // nothing raced this round; jump to the final pass
 			continue
 		}
-		err := cl.copyDirty(si, sh, r, regs, dirty)
+		err := cl.copyDirty(si, sh, r, dirty)
 		if !final {
 			if err != nil {
 				return abort(err)
@@ -364,16 +377,35 @@ func (cl *Cluster) copyPage(sh *shard, si int, target *replica, reg *cregion, of
 }
 
 // copyDirty re-copies the pages in one settle round's dirty set.
-func (cl *Cluster) copyDirty(si int, sh *shard, r *replica, regs map[uint64]*cregion, dirty map[uint64]struct{}) error {
+// Dirty keys resolve against the live region table, not the bulk
+// copy's snapshot: a write to a region registered after the resync
+// began goes only to healthy replicas, so skipping its key here would
+// leave the target serving zero-filled pages after admission.
+func (cl *Cluster) copyDirty(si int, sh *shard, r *replica, dirty map[uint64]struct{}) error {
 	pb := cl.opts.PageBytes
 	for key := range dirty { //magevet:ok settle-pass copy set: each page is copied exactly once; order cannot matter
 		handle := key >> placement.KeyPageBits
 		pageNo := int64(key & (1<<placement.KeyPageBits - 1))
-		reg, ok := regs[handle]
-		if !ok {
-			// Region created after the resync snapshot; Register already
-			// covered every replica it could reach, including this one.
+		cl.regMu.Lock()
+		reg := cl.regions[handle]
+		cl.regMu.Unlock()
+		if reg == nil {
+			// No live region for the key (cannot happen today — there is
+			// no unregister verb — but a missing entry means there is no
+			// page to copy).
 			continue
+		}
+		if _, ok := reg.handle(r); !ok {
+			// The region appeared after readmit's own register pass, and
+			// the concurrent Register failed to reach this replica.
+			// Create it on the target now so the dirty copy can land.
+			h, err := r.c.Register(reg.size)
+			if err != nil {
+				return err
+			}
+			cl.regMu.Lock()
+			reg.setHandle(r, h)
+			cl.regMu.Unlock()
 		}
 		off := pageNo * pb
 		length := pb

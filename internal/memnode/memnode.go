@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"sync"        //magevet:ok memnode is a real TCP daemon, not virtual-time simulation code
 	"sync/atomic" //magevet:ok memnode is a real TCP daemon, not virtual-time simulation code
+	"time"
 )
 
 // Opcodes shared by v1 and v2 (batch opcodes live in frame.go).
@@ -167,11 +168,17 @@ func NewServerOptions(addr string, capacity int64, opts ServerOptions) (*Server,
 		return nil, fmt.Errorf("memnode: listen: %w", err)
 	}
 	s := &Server{
-		ln:       ln,
-		opts:     opts,
-		regions:  make(map[uint64][][]byte),
-		sizes:    make(map[uint64]int64),
-		nextID:   1,
+		ln:      ln,
+		opts:    opts,
+		regions: make(map[uint64][][]byte),
+		sizes:   make(map[uint64]int64),
+		// Region IDs are seeded with a startup epoch rather than 1: a
+		// restarted server must never hand out an ID that clients of the
+		// previous instance still hold, or a stale srvID could alias a
+		// freshly registered region and silently read/write the wrong
+		// one. (The client's lazy REGISTER replay only triggers on
+		// unknown-region NACKs, which an aliased ID never produces.)
+		nextID:   uint64(time.Now().UnixNano()), //magevet:ok restart-unique region-ID epoch on a real network daemon
 		capacity: capacity,
 		conns:    make(map[net.Conn]struct{}),
 	}
