@@ -52,10 +52,14 @@ lint: fmtcheck vet magevet
 # replica down) keeps the degraded-mode tail in every snapshot; the
 # bench also stamps its shards/replicas/transport topology into the
 # snapshot's "clusters" section.
+# The sharded-engine pin is a hard floor, not just a presence check:
+# the rack-scale DES needs the 4-shard merge to stay at or above
+# 2.7M events/s, so bench fails if dispatch throughput regresses
+# below it.
 bench:
 	$(GO) test -run '^$$' -benchmem -bench 'BenchmarkEngineDispatch|BenchmarkParexpFigures|BenchmarkFaultPathMageLib|BenchmarkFaultToleranceMageLib|BenchmarkColocateNode|BenchmarkMemnodePipeline|BenchmarkMemnodeShmPipeline|BenchmarkServerRoundtrip|BenchmarkClusterFailoverRead' ./... \
 		| tee /dev/stderr | $(GO) run ./cmd/benchsnap \
-			-require 'BenchmarkMemnodePipeline:pages/s,BenchmarkMemnodePipeline:p99-us,BenchmarkServerRoundtrip:allocs/op,BenchmarkMemnodeShmPipeline:pages/s,BenchmarkMemnodeShmPipeline:p99-us,BenchmarkMemnodeShmPipeline:allocs/op,BenchmarkClusterFailoverRead:pages/s,BenchmarkClusterFailoverRead:p99-us' \
+			-require 'BenchmarkMemnodePipeline:pages/s,BenchmarkMemnodePipeline:p99-us,BenchmarkServerRoundtrip:allocs/op,BenchmarkMemnodeShmPipeline:pages/s,BenchmarkMemnodeShmPipeline:p99-us,BenchmarkMemnodeShmPipeline:allocs/op,BenchmarkClusterFailoverRead:pages/s,BenchmarkClusterFailoverRead:p99-us,BenchmarkEngineDispatchSharded:events/s>=2700000' \
 			> BENCH_$(BENCH_DATE).json
 
 # Coverage floor for internal/core, set just under the level the

@@ -10,7 +10,11 @@
 // "BenchmarkMemnodePipeline:pages/s,BenchmarkEngineDispatch:events/s");
 // if a named benchmark or metric is missing the exit code is 1, so a
 // CI bench step fails loudly when a pinned number silently disappears
-// instead of producing a snapshot that no longer tracks it.
+// instead of producing a snapshot that no longer tracks it. A pair may
+// carry a bound — "BenchmarkEngineDispatchSharded:events/s>=2700000"
+// (throughput floor) or "BenchmarkMemnodePipeline:ns/op<=20000"
+// (latency ceiling) — in which case the measured value must satisfy it,
+// turning the snapshot step into a hard perf regression gate.
 //
 // Every benchmark line is captured with its iteration count, ns/op, and
 // any extra metrics the benchmark reported via b.ReportMetric (e.g. the
@@ -160,7 +164,9 @@ func parse(in io.Reader) (Snapshot, error) {
 // snapshot. Benchmark names are matched by prefix because bench lines
 // carry a -N GOMAXPROCS suffix ("BenchmarkMemnodePipeline-8"); the
 // metric "ns/op" is always present on a parsed line, anything else must
-// appear in the result's extra-metrics map.
+// appear in the result's extra-metrics map. A pair suffixed with
+// ">=floor" or "<=ceiling" additionally bounds the measured value;
+// every matching result must satisfy the bound.
 func checkRequired(snap Snapshot, require string, errw io.Writer) int {
 	missing := 0
 	for _, req := range strings.Split(require, ",") {
@@ -168,7 +174,13 @@ func checkRequired(snap Snapshot, require string, errw io.Writer) int {
 		if req == "" {
 			continue
 		}
-		name, metric, ok := strings.Cut(req, ":")
+		spec, op, bound, err := splitBound(req)
+		if err != nil {
+			fmt.Fprintf(errw, "benchsnap: bad -require entry %q: %v\n", req, err)
+			missing++
+			continue
+		}
+		name, metric, ok := strings.Cut(spec, ":")
 		if !ok {
 			fmt.Fprintf(errw, "benchsnap: bad -require entry %q (want Bench:metric)\n", req)
 			missing++
@@ -179,13 +191,18 @@ func checkRequired(snap Snapshot, require string, errw io.Writer) int {
 			if r.Name != name && !strings.HasPrefix(r.Name, name+"-") {
 				continue
 			}
-			if metric == "ns/op" {
-				found = true
-				break
+			v, have := r.NsPerOp, true
+			if metric != "ns/op" {
+				v, have = r.Metrics[metric]
 			}
-			if _, ok := r.Metrics[metric]; ok {
-				found = true
-				break
+			if !have {
+				continue
+			}
+			found = true
+			if op == ">=" && v < bound || op == "<=" && v > bound {
+				fmt.Fprintf(errw, "benchsnap: %s %s = %v violates the pinned bound %s%v\n",
+					r.Name, metric, v, op, bound)
+				missing++
 			}
 		}
 		if !found {
@@ -194,6 +211,24 @@ func checkRequired(snap Snapshot, require string, errw io.Writer) int {
 		}
 	}
 	return missing
+}
+
+// splitBound strips an optional ">=value" / "<=value" suffix from a
+// -require entry, returning the bare Bench:metric spec and the bound.
+// op is "" when the entry is a bare presence pin.
+func splitBound(req string) (spec, op string, bound float64, err error) {
+	for _, o := range []string{">=", "<="} {
+		i := strings.Index(req, o)
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(req[i+len(o):]), 64)
+		if err != nil {
+			return "", "", 0, fmt.Errorf("unparseable bound after %q", o)
+		}
+		return strings.TrimSpace(req[:i]), o, v, nil
+	}
+	return req, "", 0, nil
 }
 
 func run(in io.Reader, out, errw io.Writer, require string) int {
@@ -224,7 +259,8 @@ func run(in io.Reader, out, errw io.Writer, require string) int {
 
 func main() {
 	require := flag.String("require", "",
-		"comma-separated Bench:metric pairs that must be present (exit 1 if missing)")
+		"comma-separated Bench:metric pairs that must be present, optionally bounded"+
+			" (Bench:metric>=floor or Bench:metric<=ceiling); exit 1 if missing or violated")
 	flag.Parse()
 	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, *require))
 }

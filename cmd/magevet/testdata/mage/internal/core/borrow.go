@@ -1,0 +1,45 @@
+// A magevet fixture standing in for the cross-node borrow ledger: a
+// host node tracks pages it hosts for pressured neighbours in a map,
+// and reclaim must walk that map deterministically. Pins the suite on
+// the borrow idioms the rack-scale refactor introduced.
+package core
+
+import "sort"
+
+type borrowLedger struct {
+	// hosted maps borrowed page id -> owner node index.
+	hosted map[uint64]int
+}
+
+// reclaimOrder drains the ledger with the sort promise honored: the
+// rangemap marker is live and the sort is right below, so reclaim
+// sweeps pages in the same order every run.
+func (b *borrowLedger) reclaimOrder() []uint64 {
+	var pages []uint64
+	for p := range b.hosted { //magevet:ok keys are sorted below
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	return pages
+}
+
+// reclaimUnsorted makes the same promise but dropped the sort: a
+// reclaim sweep in map order would return pages to owners in a
+// different order every run, shifting every downstream fault count.
+func (b *borrowLedger) reclaimUnsorted() []uint64 {
+	var pages []uint64
+	for p := range b.hosted { //magevet:ok keys are sorted below
+		pages = append(pages, p) // want mapdrain
+	}
+	return pages
+}
+
+// evictVictim picks "any" victim straight out of the map — the classic
+// borrow bug: which page bounces back to its owner depends on map
+// iteration order.
+func (b *borrowLedger) evictVictim() (uint64, bool) {
+	for p := range b.hosted { // want rangemap
+		return p, true
+	}
+	return 0, false
+}

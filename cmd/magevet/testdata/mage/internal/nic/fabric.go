@@ -1,0 +1,55 @@
+// Package nic is a magevet fixture standing in for the fabric layer:
+// per-link state keyed by (src, dst) node pairs, drained by the DES.
+// It pins the suite on the idioms the rack-scale refactor introduced —
+// link-map iteration feeding engine state, wall-clock temptation in
+// delay math, and host goroutines for "async" delivery — so desPackages
+// coverage of the fabric cannot regress without a fixture diff.
+package nic
+
+import "time"
+
+type pair struct{ src, dst int }
+
+type link struct {
+	queuedBytes int64
+	depart      int64
+}
+
+type fabric struct {
+	links map[pair]*link
+	now   int64
+}
+
+// drainAll releases every queued transfer. Iterating the link map while
+// mutating engine state is order-dependent: two runs release links in
+// different orders and congestion wakeups interleave differently.
+func (f *fabric) drainAll() {
+	for _, l := range f.links { // want rangemap
+		f.now += l.queuedBytes
+		l.queuedBytes = 0
+	}
+}
+
+// queuedTotal aggregates a commutative sum; the reasoned marker
+// silences the finding.
+func (f *fabric) queuedTotal() int64 {
+	var total int64
+	for _, l := range f.links { //magevet:ok fixture: commutative sum, order cannot matter
+		total += l.queuedBytes
+	}
+	return total
+}
+
+// stampDeparture must use virtual time; the host clock would make link
+// delays differ run to run.
+func (f *fabric) stampDeparture(l *link) {
+	l.depart = time.Now().UnixNano() // want wallclock
+}
+
+// deliverAsync forks a host goroutine inside the DES — a borrow grant
+// delivered this way would race the single-threaded engine.
+func (f *fabric) deliverAsync(l *link) {
+	go func() { // want goroutine
+		l.queuedBytes = 0
+	}()
+}

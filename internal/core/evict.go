@@ -21,6 +21,10 @@ type victim struct {
 	frame buddy.Frame
 	dirty bool
 	entry swapspace.Entry
+	// borrowed marks a victim lent to a neighbour's DRAM instead of
+	// written to swap (see borrow.go): its swap slot was handed back and
+	// reclaim must not record it in remoteOf.
+	borrowed bool
 }
 
 // ebatch is one eviction batch moving through the pipeline stages of
@@ -51,7 +55,7 @@ func (n *Node) SpawnEvictors() {
 	for j := 0; j < n.Cfg.EvictorThreads; j++ {
 		j := j
 		core := n.Placement.Evictor[j]
-		name := fmt.Sprintf("evictor-%d", j)
+		name := n.procName(fmt.Sprintf("evictor-%d", j))
 		if n.Cfg.Pipelined {
 			n.Eng.Spawn(name, func(p *sim.Proc) { n.pipelinedEvictor(p, j, core) })
 		} else {
@@ -88,6 +92,10 @@ func (n *Node) batchEvictor(p *sim.Proc, id int, core topo.CoreID) {
 		// the scheduled recovery instead.
 		if n.FaultInj != nil && n.FaultInj.Down(p.Now()) {
 			n.evictorDegradedWait(p)
+			continue
+		}
+		// Guests go home before the node evicts its own pages.
+		if n.reclaimHosted(p, core) {
 			continue
 		}
 		if !n.underPressure() {
@@ -143,6 +151,10 @@ func (n *Node) pipelinedEvictor(p *sim.Proc, id int, core topo.CoreID) {
 			n.evictorDegradedWait(p)
 			continue
 		}
+		// Guests go home before the node evicts its own pages; the freed
+		// frames may dissolve the pressure this iteration would have
+		// served with a fresh batch.
+		n.reclaimHosted(p, core)
 		pressure := n.underPressure()
 		if !pressure && tsb == nil && rsb == nil {
 			if n.stopped {
@@ -284,10 +296,16 @@ func (n *Node) postShootdowns(p *sim.Proc, core topo.CoreID, eb *ebatch) []*tlbs
 // map, the newly allocated slot is empty so every page is written.
 func (n *Node) postWriteback(p *sim.Proc, eb *ebatch) *nic.Completion {
 	var pagesToWrite int
-	for _, v := range eb.victims {
-		if v.dirty || n.Cfg.Swap == SwapGlobalMap {
+	for i := range eb.victims {
+		if n.needsWriteback(&eb.victims[i]) {
 			pagesToWrite++
 		}
+	}
+	// Cross-node eviction: offer the writeback set to a neighbour with
+	// spare frames first; whatever a host accepts skips the swap
+	// writeback entirely.
+	if pagesToWrite > 0 && n.rack != nil && n.rack.Borrow {
+		pagesToWrite -= n.borrowOut(p, eb, pagesToWrite)
 	}
 	if pagesToWrite == 0 {
 		return nil
@@ -305,7 +323,7 @@ func (n *Node) reclaim(p *sim.Proc, core topo.CoreID, eb *ebatch) {
 	ghost, _ := n.Acct.(lru.GhostTracker)
 	for i, v := range eb.victims {
 		v.t.AS.CompleteEvict(p, v.page)
-		if v.t.remoteOf != nil {
+		if !v.borrowed && v.t.remoteOf != nil {
 			v.t.remoteOf[v.page] = v.entry
 		}
 		if ghost != nil {

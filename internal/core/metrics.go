@@ -68,6 +68,14 @@ type Metrics struct {
 	InjWriteNacks uint64
 	InjTimeouts   uint64
 	InjSpikes     uint64
+
+	// Cross-node eviction (all zero off-rack). The node-side counters
+	// are shared, reported as observed by every tenant like the other
+	// substrate metrics; BorrowFetches is the tenant's own.
+	BorrowsOut     uint64 // victim pages lent to a neighbour instead of swapped
+	BorrowsHosted  uint64 // guest pages this node accepted for neighbours
+	BorrowReclaims uint64 // guest pages pushed back to owners under host pressure
+	BorrowFetches  uint64 // borrowed pages this tenant faulted home over the fabric
 }
 
 // Snapshot collects one tenant's metrics; elapsed is used for rate
@@ -127,6 +135,11 @@ func (t *Tenant) Snapshot(elapsed sim.Time) Metrics {
 		RetryWaitNs:   t.RetryWait.Sum(),
 		DegradedNs:    t.Degraded.TotalAt(int64(elapsed)),
 		DegradedSpans: t.Degraded.Count(),
+
+		BorrowsOut:     n.BorrowsOut.Value(),
+		BorrowsHosted:  n.BorrowsHosted.Value(),
+		BorrowReclaims: n.BorrowReclaims.Value(),
+		BorrowFetches:  t.BorrowFetches.Value(),
 	}
 	// Injected-fault tallies: the tenant's own injector plus the node-wide
 	// one when both exist (they are distinct fault sources; a tenant

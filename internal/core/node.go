@@ -69,6 +69,27 @@ type Node struct {
 
 	tenants []*Tenant
 
+	// rack and rackIndex are set when the node is part of a Rack: several
+	// nodes sharing one engine, joined by a simulated fabric. Both stay
+	// zero for a standalone node, and every rack-only code path is gated
+	// on rack != nil so a standalone node's event sequence is untouched.
+	rack      *Rack
+	rackIndex int
+	// hosted lists guest pages this node holds for neighbours, in arrival
+	// order; retired entries (owner fetched the page home) stay in the
+	// slice as husks until a reclaim scan drops them, so hostedLive is the
+	// authoritative live count.
+	hosted     []*borrowedPage
+	hostedLive int
+	// borrowWait parks fault-path threads whose borrowed page is mid-push
+	// back to this node's swap by its host (see claimBorrowed).
+	borrowWait *sim.WaitQueue
+
+	// Borrow/reclaim accounting (all zero off-rack).
+	BorrowsOut     stats.Counter // victim pages lent to a neighbour instead of swapped
+	BorrowsHosted  stats.Counter // guest pages accepted for neighbours
+	BorrowReclaims stats.Counter // guest pages pushed back to owners under pressure
+
 	freeWait  *sim.WaitQueue
 	evictKick *sim.WaitQueue
 	stopped   bool
@@ -102,6 +123,14 @@ type Node struct {
 // overwritten with the tenant sums. An empty specs slice builds a
 // single-tenant node shaped by cfg alone (what NewSystem does).
 func NewNode(cfg Config, specs []TenantSpec) (*Node, error) {
+	return newNodeOn(sim.NewEngine(), cfg, specs)
+}
+
+// newNodeOn is NewNode on a caller-owned engine — the seam NewRack uses
+// to put several nodes on one shared engine (each in its own event
+// domain). Construction itself schedules no events, so a node built here
+// behaves identically to one built by NewNode.
+func newNodeOn(eng *sim.Engine, cfg Config, specs []TenantSpec) (*Node, error) {
 	if len(specs) == 0 {
 		specs = []TenantSpec{{Name: cfg.Name, AppThreads: cfg.AppThreads, TotalPages: cfg.TotalPages}}
 	} else {
@@ -144,7 +173,6 @@ func NewNode(cfg Config, specs []TenantSpec) (*Node, error) {
 		}
 	}
 
-	eng := sim.NewEngine()
 	costs := DefaultCostModel(cfg)
 	machine := topo.NewMachine(cfg.Sockets, cfg.CoresPerSocket)
 	// Per-core TLBs cache tenant-local page numbers, so two tenants on one
@@ -156,14 +184,15 @@ func NewNode(cfg Config, specs []TenantSpec) (*Node, error) {
 	}
 
 	n := &Node{
-		Cfg:       cfg,
-		Costs:     costs,
-		Eng:       eng,
-		Machine:   machine,
-		Fabric:    apic.NewFabric(eng, machine, costs.APIC),
-		NIC:       nic.New(eng, cfg.Stack, costs.NIC),
-		freeWait:  sim.NewWaitQueue(eng, "free-wait"),
-		evictKick: sim.NewWaitQueue(eng, "evict-kick"),
+		Cfg:        cfg,
+		Costs:      costs,
+		Eng:        eng,
+		Machine:    machine,
+		Fabric:     apic.NewFabric(eng, machine, costs.APIC),
+		NIC:        nic.New(eng, cfg.Stack, costs.NIC),
+		freeWait:   sim.NewWaitQueue(eng, "free-wait"),
+		evictKick:  sim.NewWaitQueue(eng, "evict-kick"),
+		borrowWait: sim.NewWaitQueue(eng, "borrow-wait"),
 	}
 	if cfg.FaultPlan.Enabled() {
 		inj, err := faultinject.New(*cfg.FaultPlan)
@@ -259,6 +288,22 @@ func NewNode(cfg Config, specs []TenantSpec) (*Node, error) {
 // Tenants returns the node's tenants in id order.
 func (n *Node) Tenants() []*Tenant { return n.tenants }
 
+// Rack returns the rack this node belongs to, or nil for a standalone
+// node; RackIndex is its position in the rack.
+func (n *Node) Rack() *Rack      { return n.rack }
+func (n *Node) RackIndex() int   { return n.rackIndex }
+func (n *Node) HostedPages() int { return n.hostedLive }
+
+// procName prefixes a proc name with the node's rack index so traces
+// from different nodes stay distinguishable on the shared engine. Off
+// rack the name passes through untouched.
+func (n *Node) procName(name string) string {
+	if n.rack == nil {
+		return name
+	}
+	return fmt.Sprintf("n%d.%s", n.rackIndex, name)
+}
+
 // tenantPage splits a shared-accounting key into its owning tenant and
 // tenant-local page number.
 func (n *Node) tenantPage(key uint64) (*Tenant, uint64) {
@@ -290,6 +335,18 @@ func (n *Node) evictionDeficit() int {
 
 // kickEvictors wakes eviction threads.
 func (n *Node) kickEvictors() { n.evictKick.Broadcast() }
+
+// lendBudget is how many frames this node can host for neighbours while
+// keeping twice its high watermark free: hosting must never shove the
+// host itself into eviction, or one node's pressure would ricochet
+// around the rack as fast as it was relieved.
+func (n *Node) lendBudget() int {
+	b := n.freeFrames() - 2*n.Cfg.highWatermarkFrames()
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
 
 // PrepopBudget returns how many more pages Prepopulate can make resident
 // before the warm start would eat into the free-page headroom the

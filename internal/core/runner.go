@@ -135,6 +135,36 @@ func (s *System) RunWithOptions(streams []AccessStream, opts RunOptions) RunResu
 // single-tenant call reproduces the pre-split spawn sequence (and thread
 // names) exactly.
 func (n *Node) RunTenants(tenantStreams [][]AccessStream, opts RunOptions) []RunResult {
+	run := n.startTenants(tenantStreams, opts)
+	if opts.Deadline > 0 {
+		n.Eng.RunUntil(opts.Deadline)
+		if !n.stopped {
+			n.Stop()
+			n.Eng.Stop()
+		}
+		// Deadline-abandoned threads (and the samplers) are parked in the
+		// engine; release their goroutines so grid sweeps do not
+		// accumulate thousands of leaked parked procs.
+		n.Eng.Shutdown()
+	} else {
+		n.Eng.Run()
+	}
+	return run.finish()
+}
+
+// nodeRun is one node's spawned-but-not-yet-finished workload: the seam
+// between spawning and driving the engine that lets Rack.Run start every
+// node's tenants before running the shared engine once.
+type nodeRun struct {
+	n       *Node
+	results []RunResult
+}
+
+// startTenants spawns the node's evictors, application threads, and
+// samplers in the fixed determinism order, without running the engine.
+// The node stops itself (releasing its evictors and samplers) when its
+// last thread finishes, so several started nodes can share one run loop.
+func (n *Node) startTenants(tenantStreams [][]AccessStream, opts RunOptions) *nodeRun {
 	if len(tenantStreams) != len(n.tenants) {
 		panic(fmt.Sprintf("core: %d stream sets for %d tenants", len(tenantStreams), len(n.tenants)))
 	}
@@ -169,7 +199,7 @@ func (n *Node) RunTenants(tenantStreams [][]AccessStream, opts RunOptions) []Run
 			if multi {
 				name = fmt.Sprintf("t%d.app-%d", ti, i)
 			}
-			n.Eng.Spawn(name, func(p *sim.Proc) {
+			n.Eng.Spawn(n.procName(name), func(p *sim.Proc) {
 				t := tn.NewThread(p, i)
 				for {
 					a, ok := st.Next()
@@ -208,7 +238,7 @@ func (n *Node) RunTenants(tenantStreams [][]AccessStream, opts RunOptions) []Run
 			if multi {
 				name = fmt.Sprintf("t%d.sampler", ti)
 			}
-			n.Eng.Spawn(name, func(p *sim.Proc) {
+			n.Eng.Spawn(n.procName(name), func(p *sim.Proc) {
 				var m stats.Meter
 				for !n.stopped {
 					p.Sleep(opts.SampleEvery)
@@ -218,29 +248,20 @@ func (n *Node) RunTenants(tenantStreams [][]AccessStream, opts RunOptions) []Run
 			})
 		}
 	}
+	return &nodeRun{n: n, results: results}
+}
 
-	if opts.Deadline > 0 {
-		n.Eng.RunUntil(opts.Deadline)
-		if !n.stopped {
-			n.Stop()
-			n.Eng.Stop()
-		}
-		// Deadline-abandoned threads (and the samplers) are parked in the
-		// engine; release their goroutines so grid sweeps do not
-		// accumulate thousands of leaked parked procs.
-		n.Eng.Shutdown()
-	} else {
-		n.Eng.Run()
-	}
-
-	for ti := range results {
-		res := &results[ti]
+// finish computes makespans and snapshots metrics once the engine loop
+// has drained.
+func (r *nodeRun) finish() []RunResult {
+	for ti := range r.results {
+		res := &r.results[ti]
 		for _, t := range res.Threads {
 			if t.FinishedAt > res.Makespan {
 				res.Makespan = t.FinishedAt
 			}
 		}
-		res.Metrics = n.tenants[ti].Snapshot(res.Makespan)
+		res.Metrics = r.n.tenants[ti].Snapshot(res.Makespan)
 	}
-	return results
+	return r.results
 }

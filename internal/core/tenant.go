@@ -35,6 +35,11 @@ type Tenant struct {
 	// swapBase offsets this tenant's identity slots in the shared remote
 	// device: tenant-local page p starts at slot swapBase + p.
 	swapBase uint64
+	// borrowed maps a tenant-local page to its borrow record while the
+	// page lives in a neighbour node's DRAM instead of swap (rack-only;
+	// see borrow.go). Lookup-only — no iteration, so the map's order
+	// never touches the event sequence.
+	borrowed map[uint64]*borrowedPage
 
 	// Cores is the tenant's contiguous slice of the node placement, one
 	// entry per app thread; appCores is its distinct ascending core set
@@ -66,8 +71,11 @@ type Tenant struct {
 	EvictedPages stats.Counter
 	Prefetched   stats.Counter
 	PrefetchDrop stats.Counter
-	FreeWaitNs   int64
-	AccessOps    uint64 // total completed accesses (host counter)
+	// BorrowFetches counts borrowed pages faulted home over the fabric
+	// (rack-only; zero off-rack).
+	BorrowFetches stats.Counter
+	FreeWaitNs    int64
+	AccessOps     uint64 // total completed accesses (host counter)
 }
 
 // Node returns the node this tenant runs on.
@@ -221,6 +229,14 @@ func (t *Tenant) Fault(p *sim.Proc, tid int, core topo.CoreID, page uint64) {
 	frame, tlbInFP := t.allocFrame(p, tid, core)
 	tAlloc := p.Now()
 
+	// Resolve the page's borrow state before touching the swap slot: a
+	// borrowed page has no slot to free, and a page mid-reclaim must be
+	// waited out so its slot exists by the time the release step looks.
+	var bp *borrowedPage
+	if !zeroFill {
+		bp = t.claimBorrowed(p, page)
+	}
+
 	// Linux charges swap-cache insertion and cgroup accounting per fault.
 	if nd.Cfg.LinuxMM {
 		p.Sleep(nd.Costs.SwapCache + nd.Costs.Cgroup)
@@ -235,18 +251,29 @@ func (t *Tenant) Fault(p *sim.Proc, tid int, core topo.CoreID, page uint64) {
 	}
 	tSwap := p.Now()
 
-	// FP₂: fetch the page — or clear a fresh frame for anonymous memory
-	// that has no remote content yet. remoteRead retries through injected
-	// faults; without an injector it is exactly NIC.Read.
-	if zeroFill {
+	// FP₂: fetch the page — from the neighbour hosting it when borrowed,
+	// otherwise from the swap device — or clear a fresh frame for
+	// anonymous memory that has no remote content yet. Both fetch paths
+	// retry through injected faults; without an injector remoteRead is
+	// exactly NIC.Read.
+	switch {
+	case zeroFill:
 		p.Sleep(nd.Costs.ZeroFill)
-	} else {
+	case bp != nil:
+		t.fetchBorrowed(p, bp)
+	default:
 		t.remoteRead(p, nic.PageSize)
 	}
 	tRead := p.Now()
 
 	// Install the translation, then FP₃: record the page as resident.
 	t.AS.CompleteFault(p, page, frame)
+	if bp != nil && t.remoteOf == nil {
+		// Direct mapping: the slot at the page's fixed remote address
+		// went stale while the authoritative copy sat on the host, so
+		// the page must leave dirty on its next eviction.
+		t.AS.HardwareAccess(page, true)
+	}
 	tComplete := p.Now()
 	nd.Acct.Insert(p, core, t.key(page))
 	tAcct := p.Now()
@@ -350,8 +377,16 @@ func (t *Tenant) prefetchAsync(core topo.CoreID, pages []uint64) {
 	nd := t.node
 	for _, pg := range pages {
 		pg := pg
-		nd.Eng.Spawn("prefetch", func(p *sim.Proc) {
+		nd.Eng.Spawn(nd.procName("prefetch"), func(p *sim.Proc) {
 			if t.AS.BeginFault(p, pg) == pgtable.FaultAlreadyPresent {
+				return
+			}
+			if nd.rack != nil && t.borrowedEntry(pg) != nil {
+				// Borrowed pages live on a neighbour, not in the swap
+				// slot this prefetch would read; a bet is not worth a
+				// fabric round trip.
+				t.AS.AbortFault(p, pg)
+				t.PrefetchDrop.Inc()
 				return
 			}
 			f, ok := nd.Alloc.Alloc(p, core)

@@ -102,6 +102,9 @@ type Scale struct {
 	// Colo sizes the multi-tenant co-location sweep.
 	Colo ColocateParams
 
+	// Rack sizes the rack-scale cross-node eviction sweeps (extrack).
+	Rack RackScale
+
 	// MicroPagesPerThread sizes the sequential-read microbenchmark.
 	MicroPagesPerThread int
 	// MCLoads is the offered-load sweep for Fig 13b (ops/s).
@@ -151,6 +154,8 @@ func Quick() Scale {
 				HotFrac: 0.8, Theta: 0.99, ComputePerUpdate: 250},
 		},
 
+		Rack: RackScale{NodeCounts: []int{4, 8, 16}, DegradeNodes: 8, AccessesPerThread: 2000},
+
 		MicroPagesPerThread: 1000,
 		MCLoads:             []float64{0.2e6, 0.5e6, 1e6, 1.5e6},
 		MCFixedLoad:         0.8e6,
@@ -185,6 +190,7 @@ func Full() Scale {
 		Gups: workload.GUPSParams{Pages: 16 << 10, UpdatesPerThread: 6000, PhaseSplit: 0.5,
 			HotFrac: 0.8, Theta: 0.99, ComputePerUpdate: 250},
 	}
+	s.Rack = RackScale{NodeCounts: []int{4, 8, 12, 16}, DegradeNodes: 16, AccessesPerThread: 8000}
 	s.MicroPagesPerThread = 5000
 	s.MCLoads = []float64{0.2e6, 0.4e6, 0.8e6, 1.2e6, 1.6e6, 2.0e6}
 	s.MCDuration = 60 * sim.Millisecond

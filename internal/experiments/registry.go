@@ -35,6 +35,7 @@ var registry = map[string]Runner{
 	"extbackend": ExtBackends,
 	"extcluster": ExtCluster,
 	"extfault":   ExtFaultTolerance,
+	"extrack":    ExtRack,
 	"claims":     Claims,
 	"colocate":   Colocate,
 }

@@ -29,6 +29,7 @@ func determinismScale() experiments.Scale {
 		OutputPages: 256, EmitsPerInputPage: 1, MapCompute: 900, ReduceCompute: 700}
 	sc.MC = workload.MemcachedParams{Keys: 1 << 13, ValueBytes: 256, Theta: 0.99,
 		GetFraction: 0.998, ComputePerOp: 1500}
+	sc.Rack = experiments.RackScale{NodeCounts: []int{4, 8}, DegradeNodes: 4, AccessesPerThread: 1200}
 	sc.MicroPagesPerThread = 400
 	sc.MCLoads = []float64{0.2e6}
 	sc.MCFixedLoad = 0.3e6

@@ -1,0 +1,8 @@
+//go:build !race
+
+package invariant_test
+
+// raceEnabled mirrors the -race build flag into test code so heavyweight
+// matrix tests can trim themselves under the detector's ~10-20x
+// slowdown instead of blowing the package timeout.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package invariant_test
+
+const raceEnabled = true

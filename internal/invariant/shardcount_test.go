@@ -1,0 +1,65 @@
+package invariant_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mage/internal/experiments"
+	"mage/internal/sim"
+)
+
+// TestShardCountByteIdentical regenerates every registered experiment at
+// sim.DefaultShards ∈ {1, 2, 4, 8} and requires byte-identical rendered
+// output. This is the sharded engine's core contract: the per-domain
+// event queues change how the dispatch loop finds the next event, never
+// which event is next — the merge key (time, seq, domain) totally orders
+// events regardless of how they are distributed across shards. Any
+// digest drift means shard routing leaked into simulation behaviour.
+//
+// DefaultShards is a process global, so each shard round runs under a
+// non-parallel group subtest: the group does not return until all its
+// parallel children finish, which serialises the global's mutations.
+//
+// Under the race detector the full matrix (4 shard counts x every
+// experiment) blows the package timeout, so the matrix trims itself to
+// the endpoints {1, 8} and a representative experiment subset: extrack
+// (the rack itself — multi-domain spawns, fabric, borrows), extfault
+// (fault-injection event patterns), and colocate (multi-tenant node).
+// The full matrix runs raceless in CI's rack-determinism job.
+func TestShardCountByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates full experiments per shard count; skipped in -short mode")
+	}
+	defer func(n int) { sim.DefaultShards = n }(sim.DefaultShards)
+
+	shardCounts := []int{1, 2, 4, 8}
+	ids := experiments.Names()
+	if raceEnabled {
+		shardCounts = []int{1, 8}
+		ids = []string{"extrack", "extfault", "colocate"}
+	}
+
+	var baseline sync.Map // experiment id -> digest at 1 shard
+	for _, shards := range shardCounts {
+		sim.DefaultShards = shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			for _, id := range ids {
+				id := id
+				t.Run(id, func(t *testing.T) {
+					t.Parallel()
+					runner, err := experiments.Lookup(id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sc := determinismScale()
+					got := digest(runner(sc))
+					if prev, ok := baseline.LoadOrStore(id, got); ok && prev != got {
+						t.Errorf("experiment %s diverges at %d engine shards: digest %s, want %s (1 shard)",
+							id, sim.DefaultShards, got, prev)
+					}
+				})
+			}
+		})
+	}
+}

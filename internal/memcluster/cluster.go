@@ -317,12 +317,14 @@ func (cl *Cluster) checkClosed() error {
 // Replicas that are down (or fail the register) are left without a
 // handle; resync registers the region before re-admitting them.
 //
-// Registration is not atomic across shards: when it fails because a
-// shard's replicas all refused, regions already created on earlier
-// shards' nodes stay allocated (the wire protocol has no UNREGISTER
-// verb, so there is nothing to roll back with) until those nodes
-// restart. Treat a failed Register as the capacity/outage signal it
-// is rather than retrying it in a tight loop.
+// Registration is not atomic across shards, but it is rolled back:
+// when it fails because a shard's replicas all refused, every handle
+// already granted by earlier shards' nodes is released with a
+// best-effort UNREGISTER, so a failed Register leaks capacity only on
+// nodes that are simultaneously unreachable (where resync will not
+// re-admit the orphan region anyway). Treat a failed Register as the
+// capacity/outage signal it is rather than retrying it in a tight
+// loop.
 func (cl *Cluster) Register(size int64) (uint64, error) {
 	if err := cl.checkClosed(); err != nil {
 		return 0, err
@@ -349,9 +351,14 @@ func (cl *Cluster) Register(size int64) (uint64, error) {
 			ok++
 		}
 		if ok == 0 {
-			// Known leak: handles already granted by earlier shards' nodes
-			// are abandoned here (no UNREGISTER verb exists). See the doc
-			// comment above.
+			// Roll back handles already granted by earlier shards' nodes.
+			// Best-effort: a replica that fails the unregister keeps the
+			// orphan region until its server restarts.
+			for r, h := range handles { //magevet:ok best-effort rollback: each handle released exactly once, order cannot matter
+				if r.c != nil {
+					_ = r.c.Unregister(h) // best-effort; the register error below is the one to surface
+				}
+			}
 			return 0, fmt.Errorf("memcluster: shard %d: register failed on every replica", si)
 		}
 	}

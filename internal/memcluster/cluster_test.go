@@ -576,3 +576,59 @@ func TestClusterCloseReleasesGoroutines(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestRegisterRollbackOnShardFailure pins the Register failure path:
+// when a later shard's replicas all refuse the region, handles already
+// granted by earlier shards are released (UNREGISTER), so a failed
+// Register does not bleed capacity on the healthy nodes.
+func TestRegisterRollbackOnShardFailure(t *testing.T) {
+	big, err := memnode.NewServer("127.0.0.1:0", 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { big.Close() })
+	small, err := memnode.NewServer("127.0.0.1:0", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { small.Close() })
+	cl, err := memcluster.New([][]string{{big.Addr()}, {small.Addr()}}, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// 8 MiB fits shard 0's node but not shard 1's 1 MiB node.
+	if _, err := cl.Register(8 << 20); err == nil {
+		t.Fatal("register succeeded despite an undersized shard")
+	}
+	c, err := memnode.Dial(big.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Regions != 0 || st.UsedBytes != 0 {
+		t.Errorf("failed register leaked on the healthy node: regions=%d used=%d", st.Regions, st.UsedBytes)
+	}
+
+	// The cluster stays usable at a size every shard can host.
+	h, err := cl.Register(256 << 10)
+	if err != nil {
+		t.Fatalf("register after rollback: %v", err)
+	}
+	if err := cl.Write(h, 0, pageBody(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Read(h, 0, testPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pageBody(0, 1)) {
+		t.Error("post-rollback region corrupted")
+	}
+	memnode.PutBuf(got)
+}

@@ -1144,6 +1144,26 @@ func (c *Client) Register(size int64) (uint64, error) {
 	return id, nil
 }
 
+// Unregister releases a region: the server returns its bytes to the
+// capacity pool and the stable handle stops resolving on this client.
+// The op rides the normal robustness stack; against a server that
+// restarted and lost the region, the lazy REGISTER replay briefly
+// recreates it (zero-filled) and the retry then removes it, so both
+// paths converge on "gone". The handle record is dropped only on
+// success — a failed unregister leaves the region usable.
+func (c *Client) Unregister(handle uint64) error {
+	if !c.canReplay(handle) {
+		return &serverError{msg: fmt.Sprintf("unknown region handle %d", handle)}
+	}
+	if _, err := c.doPooled(call{op: opUnregister, handle: handle}); err != nil {
+		return err
+	}
+	c.regMu.Lock()
+	delete(c.regions, handle)
+	c.regMu.Unlock()
+	return nil
+}
+
 // Read performs a one-sided read of length bytes at offset. The
 // returned buffer is the caller's; passing it to PutBuf when done lets
 // the client recycle it.

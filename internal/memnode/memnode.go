@@ -49,6 +49,10 @@ const (
 	// bytes, in-flight op depth, capacity) cheap enough to issue on a
 	// probe cadence. memcluster's replica selection runs on it.
 	opProbe = 7
+	// opUnregister releases a region: the ID stops resolving and its
+	// bytes return to the capacity pool. memcluster's Register rollback
+	// runs on it.
+	opUnregister = 8
 )
 
 // probeRespLen is the STATS response: free(8) inflight(8) capacity(8).
@@ -302,6 +306,8 @@ func (s *Server) serve(conn net.Conn) {
 			err = s.handleStat(conn)
 		case opProbe:
 			err = respond(conn, s.doProbe())
+		case opUnregister:
+			err = s.handleUnregister(conn, regionID)
 		default:
 			err = respondErr(conn, fmt.Sprintf("bad opcode %d", op))
 		}
@@ -397,6 +403,33 @@ func (s *Server) handleRegister(conn net.Conn, size int64) error {
 		return respondErrCode(conn, code, msg)
 	}
 	return respond(conn, body)
+}
+
+// doUnregister forgets a region: the ID stops resolving and its bytes
+// return to the capacity pool. The backing chunks are deliberately NOT
+// released here — zero-copy v2 READ responses may still hold writev
+// segments aliasing them — so mmap-backed chunks stay mapped until
+// Close (regionFrees) and heap chunks are garbage-collected once the
+// last in-flight response drops its reference. Shared by the v1, v2,
+// and shm dispatch paths.
+func (s *Server) doUnregister(regionID uint64) (byte, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.regions[regionID]; !ok {
+		return statusErrRegion, fmt.Sprintf("%v %d", errUnknownRegion, regionID)
+	}
+	delete(s.regions, regionID)
+	s.used -= s.sizes[regionID]
+	delete(s.sizes, regionID)
+	return statusOK, ""
+}
+
+func (s *Server) handleUnregister(conn net.Conn, regionID uint64) error {
+	code, msg := s.doUnregister(regionID)
+	if code != statusOK {
+		return respondErrCode(conn, code, msg)
+	}
+	return respond(conn, nil)
 }
 
 // regionAt validates and returns the chunk list for an IO.
@@ -632,9 +665,10 @@ type v2resp struct {
 // appendChunkSegs appends the chunk subslices covering
 // [offset, offset+length) to segs without copying. The caller must
 // have validated the range. Safe to hold across the response write:
-// chunks live as long as the server (regions are never deregistered),
-// and a concurrent overlapping WRITE tears the read exactly as
-// one-sided RDMA would.
+// chunk memory is never released before Close — UNREGISTER only drops
+// the region from the lookup maps (see doUnregister) — and a
+// concurrent overlapping WRITE tears the read exactly as one-sided
+// RDMA would.
 func appendChunkSegs(segs net.Buffers, chunks [][]byte, offset, length int64) net.Buffers {
 	for length > 0 {
 		ci := offset / ChunkBytes
@@ -841,6 +875,8 @@ func (s *Server) execV2(r *v2req) *v2resp {
 		resp.body, code = s.doStat(), statusOK
 	case opProbe:
 		resp.body, code = s.doProbe(), statusOK
+	case opUnregister:
+		code, msg = s.doUnregister(r.regionID)
 	default:
 		code, msg = statusErr, fmt.Sprintf("bad opcode %d", r.op)
 	}

@@ -234,3 +234,76 @@ func BenchmarkPageRead(b *testing.B) {
 		}
 	}
 }
+
+// unregisterSuite exercises the UNREGISTER verb semantics on any
+// negotiated transport: capacity returns to the pool, the stale handle
+// dies terminally, and the connection survives it all.
+func unregisterSuite(t *testing.T, c *Client) {
+	t.Helper()
+	id, err := c.Register(6 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(id, 0, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unregister(id); err != nil {
+		t.Fatalf("unregister: %v", err)
+	}
+	st, err := c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Regions != 0 || st.UsedBytes != 0 {
+		t.Errorf("after unregister: regions=%d used=%d, want 0/0", st.Regions, st.UsedBytes)
+	}
+	// The stale handle must fail terminally (no replay: the client
+	// forgot the region), without poisoning the connection.
+	if _, err := c.Read(id, 0, 4096); err == nil {
+		t.Error("read of unregistered region accepted")
+	} else if !IsTerminal(err) {
+		t.Errorf("stale-handle read failed non-terminally: %v", err)
+	}
+	if err := c.Unregister(id); err == nil {
+		t.Error("double unregister accepted")
+	}
+	// The freed bytes are reusable: this second region would not fit
+	// alongside the first on the 8 MiB server.
+	id2, err := c.Register(6 << 20)
+	if err != nil {
+		t.Fatalf("capacity not returned to pool: %v", err)
+	}
+	if _, err := c.Read(id2, 0, 4096); err != nil {
+		t.Errorf("connection broken after unregister cycle: %v", err)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	for _, proto := range []int{protoV1, protoV2} {
+		proto := proto
+		t.Run(fmt.Sprintf("v%d", proto), func(t *testing.T) {
+			srv, err := NewServer("127.0.0.1:0", 8<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+			opts := DefaultOptions()
+			opts.Protocol = proto
+			c, err := DialOptions(srv.Addr(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { c.Close() })
+			unregisterSuite(t, c)
+		})
+	}
+}
+
+func TestUnregisterUnknownHandle(t *testing.T) {
+	_, c := newPair(t, 8<<20)
+	if err := c.Unregister(12345); err == nil {
+		t.Error("unregister of never-registered handle accepted")
+	} else if !IsTerminal(err) {
+		t.Errorf("unknown-handle unregister failed non-terminally: %v", err)
+	}
+}

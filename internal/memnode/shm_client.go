@@ -292,6 +292,8 @@ func needBytes(ca *call) int64 {
 		return 48
 	case opProbe:
 		return probeRespLen
+	case opUnregister:
+		return 64 // no response data; room for an error message
 	case opReadV:
 		var total int64
 		for _, v := range ca.iovs {

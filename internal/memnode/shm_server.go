@@ -373,6 +373,12 @@ func (h *shmConn) exec(e sqEntry) (byte, int64) {
 			return shmErr(ext, statusErr, "stats: extent too small")
 		}
 		return statusOK, int64(copy(ext, body))
+	case opUnregister:
+		code, msg := s.doUnregister(e.regionID)
+		if code != statusOK {
+			return shmErr(ext, code, msg)
+		}
+		return statusOK, 0
 	default:
 		return shmErr(ext, statusErr, fmt.Sprintf("bad opcode %d", e.op))
 	}

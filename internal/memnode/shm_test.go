@@ -589,3 +589,11 @@ func BenchmarkMemnodeShmPipeline(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pages/s")
 	b.ReportMetric(float64(lat.Snapshot().P99())/1e3, "p99-us")
 }
+
+func TestShmUnregister(t *testing.T) {
+	_, c := newShmPair(t, 8<<20)
+	unregisterSuite(t, c)
+	if got := c.TransportKind(); got != "shm" {
+		t.Fatalf("TransportKind = %q, want shm", got)
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// traceProgram runs a fixed multi-domain program on an engine with the
+// given shard count and returns the exact execution trace: one
+// "(t=..., proc)" entry per resumption. Two engines producing the same
+// trace dispatched the same events in the same merged order.
+func traceProgram(shards int) []string {
+	eng := NewEngineShards(shards)
+	var trace []string
+	step := func(p *Proc, d Time) {
+		p.Sleep(d)
+		trace = append(trace, fmt.Sprintf("t=%d %s", p.Now(), p.Name()))
+	}
+	for dom := 0; dom < 5; dom++ {
+		dom := dom
+		eng.SpawnIn(dom, fmt.Sprintf("d%d", dom), func(p *Proc) {
+			for i := 0; i < 40; i++ {
+				// Deliberate cross-domain collisions at the same instant:
+				// the merge order must still be seq order, not shard order.
+				step(p, Time((i*7+dom*3)%11))
+				if i%9 == dom%3 {
+					p.Yield()
+					trace = append(trace, fmt.Sprintf("t=%d %s yield", p.Now(), p.Name()))
+				}
+			}
+			// Spawned children inherit the spawner's domain.
+			p.eng.Spawn(fmt.Sprintf("child-of-%s", p.Name()), func(c *Proc) {
+				step(c, 5)
+			})
+		})
+	}
+	eng.Run()
+	return trace
+}
+
+// TestShardCountTraceIdentical asserts the merged dispatch order is
+// byte-identical at 1, 2, 4, and 8 event-queue shards. This is the
+// engine-level half of the shard-count equivalence suite; the
+// experiment-level half (full golden digests per shard count) lives in
+// internal/invariant.
+func TestShardCountTraceIdentical(t *testing.T) {
+	want := traceProgram(1)
+	if len(want) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, n := range []int{2, 4, 8} {
+		if got := traceProgram(n); !reflect.DeepEqual(got, want) {
+			for i := range want {
+				if i >= len(got) || got[i] != want[i] {
+					t.Fatalf("shards=%d diverges at step %d: got %q want %q", n, i, got[i], want[i])
+				}
+			}
+			t.Fatalf("shards=%d trace length %d, want %d", n, len(got), len(want))
+		}
+	}
+}
+
+// TestDomainInheritance pins the domain-routing rules: SetSpawnDomain
+// governs setup-time spawns, running processes pass their own domain to
+// children, SpawnIn overrides both, and negatives clamp to zero.
+func TestDomainInheritance(t *testing.T) {
+	eng := NewEngineShards(4)
+	if eng.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", eng.Shards())
+	}
+	eng.SetSpawnDomain(3)
+	got := map[string]int{}
+	p := eng.Spawn("outer", func(p *Proc) {
+		got["outer"] = p.Domain()
+		eng.Spawn("inherited", func(c *Proc) { got["inherited"] = c.Domain() })
+		eng.SpawnIn(1, "explicit", func(c *Proc) { got["explicit"] = c.Domain() })
+		eng.SpawnIn(-7, "clamped", func(c *Proc) { got["clamped"] = c.Domain() })
+		p.Sleep(1)
+	})
+	eng.Run()
+	_ = p
+	want := map[string]int{"outer": 3, "inherited": 3, "explicit": 1, "clamped": 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("domains = %v, want %v", got, want)
+	}
+	if e := NewEngineShards(0); e.Shards() != 1 {
+		t.Fatalf("NewEngineShards(0).Shards() = %d, want 1", e.Shards())
+	}
+}
+
+// TestSeqEpochNoAliasAcrossRestart pins the epoch seeding: an engine
+// constructed after another one ran (the Shutdown/restart pattern in
+// tests) starts its seq counter strictly above everything the earlier
+// engine issued, so a resumed simulation can never reissue — and thus
+// never reorder against — seq numbers from a previous engine's life.
+func TestSeqEpochNoAliasAcrossRestart(t *testing.T) {
+	first := NewEngine()
+	for i := 0; i < 3; i++ {
+		first.Spawn("w", func(p *Proc) {
+			for j := 0; j < 100; j++ {
+				p.Sleep(1)
+			}
+		})
+	}
+	first.RunUntil(50)
+	first.Stop()
+	first.Shutdown()
+
+	second := NewEngine()
+	if second.seq <= first.seq {
+		t.Fatalf("restarted engine seq %d does not clear prior engine's last seq %d", second.seq, first.seq)
+	}
+	if second.seq%seqEpochStride != 0 {
+		t.Fatalf("engine seq base %d not a stride multiple", second.seq)
+	}
+}
