@@ -116,10 +116,35 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
+// addTopology dedups one parsed topology into the snapshot. A bench run
+// repeats for timing refinement; one topology line per benchmark is
+// enough.
+func addTopology(snap *Snapshot, payload string) {
+	ct, ok := parseTopology(payload)
+	if !ok {
+		return
+	}
+	for _, have := range snap.Clusters {
+		if have == ct {
+			return
+		}
+	}
+	snap.Clusters = append(snap.Clusters, ct)
+}
+
 // parse consumes a `go test -bench` stream.
 func parse(in io.Reader) (Snapshot, error) {
 	var snap Snapshot
 	var pkg string // most recent "pkg:" header; stamps following results
+	// pending holds a benchmark name whose numeric result has not been
+	// seen yet. A benchmark that prints to stdout mid-run (the cluster
+	// benches emit a "cluster-topology: ..." line) splits its result:
+	// the framework flushes the name token first, the print lands on
+	// the same line, and the "N  12.3 ns/op ..." numbers arrive on a
+	// later line with no Benchmark prefix. Stitching the two back
+	// together keeps those results (and their -require pins) in the
+	// snapshot instead of silently dropping them.
+	var pending string
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
@@ -136,24 +161,35 @@ func parse(in io.Reader) (Snapshot, error) {
 		case strings.HasPrefix(line, "--- FAIL") || strings.HasPrefix(line, "FAIL"):
 			snap.FailLines = append(snap.FailLines, line)
 		case strings.HasPrefix(line, "cluster-topology: "):
-			if ct, ok := parseTopology(strings.TrimPrefix(line, "cluster-topology: ")); ok {
-				// A bench run repeats for timing refinement; one topology
-				// line per benchmark is enough.
-				dup := false
-				for _, have := range snap.Clusters {
-					if have == ct {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					snap.Clusters = append(snap.Clusters, ct)
-				}
-			}
+			addTopology(&snap, strings.TrimPrefix(line, "cluster-topology: "))
 		default:
 			if r, ok := parseLine(line); ok {
 				r.Pkg = pkg
 				snap.Results = append(snap.Results, r)
+				pending = ""
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) > 0 && strings.HasPrefix(fields[0], "Benchmark") {
+				// Name-only line (result split by a mid-run print):
+				// remember the name, and salvage a topology payload
+				// glued onto it.
+				pending = fields[0]
+				if i := strings.Index(line, "cluster-topology: "); i >= 0 {
+					addTopology(&snap, line[i+len("cluster-topology: "):])
+				}
+				continue
+			}
+			if pending == "" || len(fields) < 3 {
+				continue
+			}
+			if _, err := strconv.ParseInt(fields[0], 10, 64); err != nil {
+				continue
+			}
+			if r, ok := parseLine(pending + " " + line); ok {
+				r.Pkg = pkg
+				snap.Results = append(snap.Results, r)
+				pending = ""
 			}
 		}
 	}

@@ -192,6 +192,57 @@ BenchmarkEngineDispatchSharded-8   	 3300000	       300.0 ns/op	   3300000 event
 	}
 }
 
+// TestParseSplitBenchLine: a benchmark that prints to stdout mid-run
+// (the cluster and magecache benches emit a topology line) splits its
+// result across lines — the framework flushes the name token, the print
+// lands beside it, and the numbers arrive later with no Benchmark
+// prefix. The parser must stitch the halves back together (and salvage
+// the glued-on topology payload) or the pinned metrics silently vanish
+// from the snapshot.
+func TestParseSplitBenchLine(t *testing.T) {
+	const in = `goos: linux
+pkg: mage/cmd/magecache
+BenchmarkMagecacheZipf 	cluster-topology: bench=magecache-zipf shards=1 replicas=1 transport=tcp
+cluster-topology: bench=magecache-zipf shards=1 replicas=1 transport=tcp
+  499714	      2780 ns/op	        95.00 hit-%	    359712 ops/s	       266.0 p99-us
+ok  	mage/cmd/magecache	3.1s
+`
+	snap, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 1 {
+		t.Fatalf("results = %+v, want the split line stitched into one", snap.Results)
+	}
+	r := snap.Results[0]
+	if r.Name != "BenchmarkMagecacheZipf" || r.Iterations != 499714 || r.NsPerOp != 2780 {
+		t.Fatalf("stitched result = %+v", r)
+	}
+	if r.Metrics["ops/s"] != 359712 || r.Metrics["p99-us"] != 266.0 {
+		t.Fatalf("stitched metrics = %+v", r.Metrics)
+	}
+	if r.Pkg != "mage/cmd/magecache" {
+		t.Fatalf("stitched pkg = %q", r.Pkg)
+	}
+	if len(snap.Clusters) != 1 || snap.Clusters[0].Bench != "magecache-zipf" {
+		t.Fatalf("clusters = %+v, want the glued-on topology deduplicated to one", snap.Clusters)
+	}
+	var out, errw bytes.Buffer
+	if code := run(strings.NewReader(in), &out, &errw,
+		"BenchmarkMagecacheZipf:ops/s>=120000,BenchmarkMagecacheZipf:p99-us"); code != 0 {
+		t.Fatalf("pinned metrics on a split line reported missing: %s", &errw)
+	}
+	// A stray numeric line with no pending name must not fabricate a
+	// result.
+	snap2, err := parse(strings.NewReader("  499714	 2780 ns/op	 10 ops/s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap2.Results) != 0 {
+		t.Fatalf("orphan numeric line fabricated a result: %+v", snap2.Results)
+	}
+}
+
 // TestParseClusterTopology: the clustered-memnode benches print one
 // "cluster-topology:" line per run; the snapshot must record it once
 // (deduplicated across timing-refinement reruns) alongside the pinned

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// serveCache speaks a minimal memcached-flavoured text protocol:
+//
+//	get <key>\n            -> VALUE <n>\n<bytes>\n | MISS\n
+//	set <key> <n>\n<bytes>\n -> STORED\n
+//	del <key>\n            -> DELETED\n | MISS\n
+//	quit\n                 closes the connection
+//
+// Errors are reported as "ERR <reason>\n"; oversized or malformed
+// requests close the connection.
+func serveCache(ln net.Listener, c *Cache) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go handleConn(conn, c)
+	}
+}
+
+func handleConn(conn net.Conn, c *Cache) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "get":
+			if len(fields) != 2 {
+				fmt.Fprintf(w, "ERR get wants 1 arg\n")
+				break
+			}
+			val, ok, err := c.Get(fields[1])
+			switch {
+			case err != nil:
+				fmt.Fprintf(w, "ERR %v\n", err)
+			case !ok:
+				fmt.Fprintf(w, "MISS\n")
+			default:
+				fmt.Fprintf(w, "VALUE %d\n", len(val))
+				w.Write(val)
+				w.WriteByte('\n')
+			}
+		case "set":
+			if len(fields) != 3 {
+				fmt.Fprintf(w, "ERR set wants 2 args\n")
+				break
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 || n > pageBytes {
+				fmt.Fprintf(w, "ERR bad length\n")
+				return
+			}
+			buf := make([]byte, n+1) // payload + trailing newline
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return
+			}
+			if err := c.Set(fields[1], buf[:n]); err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+			} else {
+				fmt.Fprintf(w, "STORED\n")
+			}
+		case "del":
+			if len(fields) != 2 {
+				fmt.Fprintf(w, "ERR del wants 1 arg\n")
+				break
+			}
+			if c.Delete(fields[1]) {
+				fmt.Fprintf(w, "DELETED\n")
+			} else {
+				fmt.Fprintf(w, "MISS\n")
+			}
+		case "quit":
+			w.Flush()
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown verb %q\n", fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}

@@ -92,17 +92,22 @@ var desPackages = map[string]bool{
 // simulation. Every other internal package stays single-threaded.
 var hostConcurrencyPackages = map[string]bool{
 	"internal/parexp": true,
+	// cmd/ packages sit outside the internal/ concurrency ban by
+	// construction; magecache is listed so the allowance is explicit
+	// for the one binary whose whole job is host-concurrent serving.
+	"cmd/magecache": true,
 }
 
 // lockscopePackages are the packages where mutexes legitimately appear —
-// parexp by package-wide allowance, memnode, memcluster, and stats via
-// per-line audits — and where lockscope therefore polices what happens
-// while a lock is held.
+// parexp by package-wide allowance, memnode, memcluster, upager, and
+// stats via per-line audits — and where lockscope therefore polices
+// what happens while a lock is held.
 var lockscopePackages = map[string]bool{
 	"internal/parexp":     true,
 	"internal/memnode":    true,
 	"internal/memcluster": true,
 	"internal/stats":      true,
+	"internal/upager":     true,
 }
 
 func appliesInternal(s pkgScope) bool { return s.isInternal }

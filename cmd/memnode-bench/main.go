@@ -70,6 +70,14 @@ type report struct {
 	P99Us       float64 `json:"p99_us"`
 	MaxUs       float64 `json:"max_us"`
 
+	// SLO accounting (-slo-p99-us): sampled ops over the target burn
+	// error budget; the run reports how much is left.
+	SLOTargetUs        float64 `json:"slo_target_us,omitempty"`
+	SLOViolations      uint64  `json:"slo_violations,omitempty"`
+	SLOSampled         uint64  `json:"slo_sampled,omitempty"`
+	SLOBudgetRemaining float64 `json:"slo_budget_remaining,omitempty"`
+	SLOMet             bool    `json:"slo_met,omitempty"`
+
 	// Cluster-mode extras (-cluster N): topology and the robustness
 	// counters of the sharded client.
 	Shards          int    `json:"shards,omitempty"`
@@ -90,6 +98,7 @@ type config struct {
 	regionMB  int64
 	pageBytes int64
 	seed      int64
+	sloP99Us  float64 // 0 disables SLO accounting
 }
 
 func main() {
@@ -111,6 +120,7 @@ func main() {
 		cluster   = flag.Int("cluster", 0, "shard count: spawn an in-process sharded cluster and drive the memcluster client")
 		replicas  = flag.Int("replicas", 2, "replicas per shard in -cluster mode")
 		chaos     = flag.Bool("chaos", false, "cluster mode: kill one replica mid-run, restart it, and require re-admission")
+		sloP99Us  = flag.Float64("slo-p99-us", 0, "p99 latency SLO in µs: report violations and error-budget remaining (0 disables)")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -162,6 +172,7 @@ func main() {
 	cfg := config{
 		workers: *workers, depth: *depth, batch: *batch, ops: *ops,
 		writeFrac: *writeFrac, regionMB: *regionMB, pageBytes: *pageBytes, seed: *seed,
+		sloP99Us: *sloP99Us,
 	}
 
 	if *cluster > 0 {
@@ -269,6 +280,11 @@ func runLoad(target string, mode int, cfg config) (report, error) {
 	}
 
 	lat := stats.NewConcurrentHistogram()
+	var sloMu sync.Mutex
+	var slo *stats.SLOTracker
+	if cfg.sloP99Us > 0 {
+		slo = stats.NewSLOTracker(int64(cfg.sloP99Us*1e3), 0.01)
+	}
 	var okOps atomic.Uint64
 	var errs atomic.Uint64
 	var wg sync.WaitGroup
@@ -303,6 +319,10 @@ func runLoad(target string, mode int, cfg config) (report, error) {
 					defer laneWG.Done()
 					rng := rand.New(rand.NewSource(cfg.seed + int64(w)*1009 + int64(d)))
 					h := stats.NewHistogram()
+					var laneSLO *stats.SLOTracker
+					if slo != nil {
+						laneSLO = stats.NewSLOTracker(slo.TargetNs, slo.BudgetFrac)
+					}
 					buf := make([]byte, cfg.pageBytes)
 					rng.Read(buf)
 					bufs := make([][]byte, cfg.batch)
@@ -359,11 +379,20 @@ func runLoad(target string, mode int, cfg config) (report, error) {
 						}
 						ok++
 						if sampled {
-							h.Record(time.Since(t0).Nanoseconds())
+							ns := time.Since(t0).Nanoseconds()
+							h.Record(ns)
+							if laneSLO != nil {
+								laneSLO.Record(ns)
+							}
 						}
 					}
 					okOps.Add(ok)
 					lat.Merge(h)
+					if laneSLO != nil {
+						sloMu.Lock()
+						slo.Merge(laneSLO)
+						sloMu.Unlock()
+					}
 				}()
 			}
 			laneWG.Wait()
@@ -403,6 +432,13 @@ func runLoad(target string, mode int, cfg config) (report, error) {
 		MaxUs:       us(h.Max()),
 	}
 	r.MiBPerSec = r.PagesPerSec * float64(cfg.pageBytes) / (1 << 20)
+	if slo != nil {
+		r.SLOTargetUs = cfg.sloP99Us
+		r.SLOViolations = slo.Violations()
+		r.SLOSampled = slo.Total()
+		r.SLOBudgetRemaining = slo.ErrorBudgetRemaining()
+		r.SLOMet = slo.Met()
+	}
 	return r, nil
 }
 
@@ -421,6 +457,14 @@ func printReport(r report) {
 	fmt.Printf("throughput: %.0f ops/s, %.0f pages/s, %.1f MiB/s\n", r.OpsPerSec, r.PagesPerSec, r.MiBPerSec)
 	fmt.Printf("latency:    p50=%.0fus p90=%.0fus p99=%.0fus max=%.0fus\n", r.P50Us, r.P90Us, r.P99Us, r.MaxUs)
 	fmt.Printf("allocs:     %.1f per op\n", r.AllocsPerOp)
+	if r.SLOTargetUs > 0 {
+		met := "MET"
+		if !r.SLOMet {
+			met = "MISSED"
+		}
+		fmt.Printf("slo:        p99<=%.0fus %s — %d/%d sampled ops over target, %.0f%% error budget left\n",
+			r.SLOTargetUs, met, r.SLOViolations, r.SLOSampled, r.SLOBudgetRemaining*100)
+	}
 	if r.Shards > 0 {
 		fmt.Printf("cluster:    %d shards x %d replicas (chaos=%v)\n", r.Shards, r.Replicas, r.Chaos)
 		fmt.Printf("resilience: %d failovers, %d readmissions, %d resynced pages, %d degraded writes\n",

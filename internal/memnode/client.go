@@ -119,6 +119,26 @@ type ClientStats struct {
 	// ShmFallbacks counts connections that tried the shm transport and
 	// fell back to TCP v2 (dial/handshake/validation failure).
 	ShmFallbacks uint64
+
+	// Per-verb op/byte counters of successfully completed operations,
+	// counted at the public API (one ReadV is one ReadV op regardless of
+	// transport decomposition or retries). Bytes are payload bytes
+	// moved: response body for reads, request payload for writes, zero
+	// for STATS. They make an application's fault/evict balance
+	// observable at the wire: a pager's fault path shows up as
+	// Read/ReadV, its write-behind evictor as WriteV.
+	Read   VerbStats
+	Write  VerbStats
+	ReadV  VerbStats
+	WriteV VerbStats
+	Stats  VerbStats
+}
+
+// VerbStats counts one wire verb's completed operations and payload
+// bytes.
+type VerbStats struct {
+	Ops   uint64
+	Bytes uint64
 }
 
 // region is the client-side record of a region this client registered:
@@ -648,6 +668,23 @@ type Client struct {
 	v1Fallbacks   atomic.Uint64
 	shmConnects   atomic.Uint64
 	shmFallbacks  atomic.Uint64
+
+	// verbOps/verbBytes index by wire verb (opRead..opProbe) and count
+	// completed public-API ops and their payload bytes.
+	verbOps   [opProbe + 1]atomic.Uint64
+	verbBytes [opProbe + 1]atomic.Uint64
+}
+
+// countVerb records one completed op of the given verb moving n payload
+// bytes.
+func (c *Client) countVerb(op byte, n int64) {
+	c.verbOps[op].Add(1)
+	c.verbBytes[op].Add(uint64(n))
+}
+
+// verbStats snapshots one verb's counters.
+func (c *Client) verbStats(op byte) VerbStats {
+	return VerbStats{Ops: c.verbOps[op].Load(), Bytes: c.verbBytes[op].Load()}
 }
 
 // Dial connects to a memory node with DefaultOptions.
@@ -714,6 +751,11 @@ func (c *Client) Metrics() ClientStats {
 		V1Fallbacks:   c.v1Fallbacks.Load(),
 		ShmConnects:   c.shmConnects.Load(),
 		ShmFallbacks:  c.shmFallbacks.Load(),
+		Read:          c.verbStats(opRead),
+		Write:         c.verbStats(opWrite),
+		ReadV:         c.verbStats(opReadV),
+		WriteV:        c.verbStats(opWriteV),
+		Stats:         c.verbStats(opProbe),
 	}
 }
 
@@ -1179,6 +1221,7 @@ func (c *Client) Read(handle uint64, offset, length int64) ([]byte, error) {
 		PutBuf(body)
 		return nil, fmt.Errorf("memnode: short read response (%d of %d bytes)", len(body), length)
 	}
+	c.countVerb(opRead, length)
 	return body, nil
 }
 
@@ -1191,6 +1234,9 @@ func (c *Client) Write(handle uint64, offset int64, data []byte) error {
 		op: opWrite, handle: handle, offset: offset,
 		length: int64(len(data)), bufs: net.Buffers{data},
 	})
+	if err == nil {
+		c.countVerb(opWrite, int64(len(data)))
+	}
 	return err
 }
 
@@ -1262,6 +1308,7 @@ func (c *Client) ReadV(handle uint64, offsets []int64, pageBytes int64) ([][]byt
 	if int64(len(body)) != total {
 		return nil, fmt.Errorf("memnode: short readv response (%d of %d bytes)", len(body), total)
 	}
+	c.countVerb(opReadV, total)
 	pages := make([][]byte, len(offsets))
 	for i := range pages {
 		pages[i] = body[int64(i)*pageBytes : int64(i+1)*pageBytes : int64(i+1)*pageBytes]
@@ -1296,6 +1343,9 @@ func (c *Client) WriteV(handle uint64, offsets []int64, pages [][]byte) error {
 		op: opWriteV, handle: handle,
 		length: int64(len(desc)) + total, bufs: bufs, iovs: iovs, pages: pages,
 	})
+	if err == nil {
+		c.countVerb(opWriteV, total)
+	}
 	return err
 }
 
@@ -1339,5 +1389,6 @@ func (c *Client) Probe() (HealthStats, error) {
 		CapacityBytes: int64(binary.LittleEndian.Uint64(body[16:])),
 	}
 	PutBuf(body)
+	c.countVerb(opProbe, 0)
 	return h, nil
 }

@@ -329,6 +329,19 @@ func TestBatchVerbs(t *testing.T) {
 		t.Error("single read disagrees with batched write")
 	}
 	PutBuf(single)
+	// Per-verb wire accounting: one WRITEV + one READV of 5 pages each,
+	// plus the single READ above.
+	m := c.Metrics()
+	batch := uint64(len(offsets)) * 4096
+	if m.WriteV.Ops != 1 || m.WriteV.Bytes != batch {
+		t.Errorf("WriteV counters = %+v, want 1 op / %d bytes", m.WriteV, batch)
+	}
+	if m.ReadV.Ops != 1 || m.ReadV.Bytes != batch {
+		t.Errorf("ReadV counters = %+v, want 1 op / %d bytes", m.ReadV, batch)
+	}
+	if m.Read.Ops != 1 || m.Read.Bytes != 4096 {
+		t.Errorf("Read counters = %+v, want 1 op / 4096 bytes", m.Read)
+	}
 }
 
 // TestBatchAtomicRejection: one bad descriptor fails the whole batch
@@ -450,6 +463,15 @@ func TestAsyncPipeline(t *testing.T) {
 			t.Fatalf("async read %d mismatch", i)
 		}
 		PutBuf(body)
+	}
+	// Async ops ride the same wrappers, so the per-verb counters must see
+	// every one of them.
+	m := c.Metrics()
+	if m.Write.Ops != n || m.Write.Bytes != n*4096 {
+		t.Errorf("Write counters = %+v, want %d ops / %d bytes", m.Write, n, n*4096)
+	}
+	if m.Read.Ops != n || m.Read.Bytes != n*4096 {
+		t.Errorf("Read counters = %+v, want %d ops / %d bytes", m.Read, n, n*4096)
 	}
 }
 

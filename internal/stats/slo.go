@@ -1,0 +1,170 @@
+package stats
+
+// WindowMeter measures throughput over a sliding time window, bucketed
+// so memory stays bounded however long the run is. Times are explicit
+// int64 nanoseconds — virtual time in the DES, wall-clock nanoseconds in
+// the real services — so the meter itself stays deterministic and
+// clock-free. Callers serialize access (wrap per worker and Merge, or
+// guard with the caller's own lock, like Histogram).
+type WindowMeter struct {
+	bucketNs int64
+	counts   []uint64 // ring of per-bucket op counts
+	starts   []int64  // bucket start time per slot; -1 = never used
+	firstNs  int64    // time of the first Add; -1 before any
+}
+
+// NewWindowMeter returns a meter whose window is buckets*bucketNs wide.
+// Finer buckets give a smoother rate at the cost of memory.
+func NewWindowMeter(bucketNs int64, buckets int) *WindowMeter {
+	if bucketNs <= 0 {
+		bucketNs = 1e9
+	}
+	if buckets < 2 {
+		buckets = 2
+	}
+	m := &WindowMeter{bucketNs: bucketNs, counts: make([]uint64, buckets), starts: make([]int64, buckets), firstNs: -1}
+	for i := range m.starts {
+		m.starts[i] = -1
+	}
+	return m
+}
+
+// WindowNs returns the window width the meter averages over.
+func (m *WindowMeter) WindowNs() int64 { return m.bucketNs * int64(len(m.counts)) }
+
+// slot returns the ring slot for time now, recycling it if its previous
+// tenancy has aged out of the window.
+func (m *WindowMeter) slot(now int64) int {
+	if now < 0 {
+		now = 0
+	}
+	b := now / m.bucketNs
+	i := int(b % int64(len(m.counts)))
+	start := b * m.bucketNs
+	if m.starts[i] != start {
+		m.starts[i] = start
+		m.counts[i] = 0
+	}
+	return i
+}
+
+// Add records n operations at time now.
+func (m *WindowMeter) Add(now int64, n uint64) {
+	if m.firstNs < 0 || now < m.firstNs {
+		m.firstNs = now
+	}
+	m.counts[m.slot(now)] += n
+}
+
+// Rate returns operations per second over the window ending at now.
+// Buckets older than the window are excluded. The averaging span is the
+// window width, shortened to the meter's actual lifetime while it is
+// still younger than one window — a meter 200ms into a 1s window divides
+// by 200ms, not 1s.
+func (m *WindowMeter) Rate(now int64) float64 {
+	if now <= 0 || m.firstNs < 0 {
+		return 0
+	}
+	cur := now / m.bucketNs
+	var ops uint64
+	for i := range m.counts {
+		if m.starts[i] < 0 {
+			continue
+		}
+		age := cur - m.starts[i]/m.bucketNs
+		if age < 0 || age >= int64(len(m.counts)) {
+			continue
+		}
+		ops += m.counts[i]
+	}
+	span := m.WindowNs()
+	if lived := now - m.firstNs; lived < span {
+		span = lived
+	}
+	if span <= 0 || ops == 0 {
+		return 0
+	}
+	return float64(ops) / (float64(span) / 1e9)
+}
+
+// SLOTracker scores a latency stream against a target: every recorded
+// op either meets the target latency or burns error budget. The budget
+// is a fraction (an SLO of "p99 under target" allows 1% of ops over it,
+// so BudgetFrac = 0.01); ErrorBudgetRemaining hitting zero means the
+// stream no longer meets its SLO. Like Histogram, the tracker is plain
+// single-threaded state: concurrent drivers keep one per worker and
+// Merge.
+type SLOTracker struct {
+	// TargetNs is the per-op latency target (the SLO's p99 bound).
+	TargetNs int64
+	// BudgetFrac is the fraction of ops allowed over target (0.01 for a
+	// p99 SLO, 0.001 for p999).
+	BudgetFrac float64
+
+	total      uint64
+	violations uint64
+	hist       *Histogram
+}
+
+// NewSLOTracker returns a tracker for "budgetFrac of ops may exceed
+// targetNs".
+func NewSLOTracker(targetNs int64, budgetFrac float64) *SLOTracker {
+	if budgetFrac <= 0 {
+		budgetFrac = 0.01
+	}
+	return &SLOTracker{TargetNs: targetNs, BudgetFrac: budgetFrac, hist: NewHistogram()}
+}
+
+// Record scores one op latency.
+func (s *SLOTracker) Record(latNs int64) {
+	s.total++
+	if latNs > s.TargetNs {
+		s.violations++
+	}
+	s.hist.Record(latNs)
+}
+
+// Total returns the number of recorded ops.
+func (s *SLOTracker) Total() uint64 { return s.total }
+
+// Violations returns how many ops exceeded the target.
+func (s *SLOTracker) Violations() uint64 { return s.violations }
+
+// ViolationFrac returns the fraction of ops over target.
+func (s *SLOTracker) ViolationFrac() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.violations) / float64(s.total)
+}
+
+// ErrorBudgetRemaining returns the unburned share of the error budget in
+// [0,1]: 1 with no violations, 0 when the violation fraction has reached
+// (or passed) BudgetFrac.
+func (s *SLOTracker) ErrorBudgetRemaining() float64 {
+	rem := 1 - s.ViolationFrac()/s.BudgetFrac
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Met reports whether the stream meets its SLO so far: the violation
+// fraction is within budget. An empty tracker is trivially met.
+func (s *SLOTracker) Met() bool { return s.ViolationFrac() <= s.BudgetFrac }
+
+// P99 returns the observed p99 latency.
+func (s *SLOTracker) P99() int64 { return s.hist.P99() }
+
+// Hist returns the underlying latency histogram (shared, not a copy).
+func (s *SLOTracker) Hist() *Histogram { return s.hist }
+
+// Merge folds other's observations into s. The target/budget of s win;
+// merging trackers with different targets merges their histograms but
+// keeps each side's own violation accounting, so only merge like with
+// like.
+func (s *SLOTracker) Merge(other *SLOTracker) {
+	s.total += other.total
+	s.violations += other.violations
+	s.hist.Merge(other.hist)
+}

@@ -1,0 +1,722 @@
+// Package upager is a user-level pager: it manages a small local page
+// arena over a far-memory backing store, giving real host services the
+// same fault/evict mechanics the DES models — demand fault-in over the
+// async futures API, a sequential-pattern prefetch window, CLOCK
+// second-chance frame reclaim, and a dedicated write-behind evictor
+// that batches dirty victims into WRITEV frames (the paper's P2
+// cross-batch pipeline, in userspace).
+//
+// The pager is the userspace mirror of the kernel data path the paper
+// instruments: Pin is the page fault, the evictor is the reclaim
+// thread, and the Stats counters expose the fault/eviction balance the
+// paper's controller steers by. Concurrent faults on one page coalesce
+// on a per-page latch, so a hot miss costs one wire read however many
+// goroutines hit it.
+package upager
+
+import (
+	"errors"
+	"fmt"
+	"sync"        //magevet:ok real-host pager over a live network client: per-page latches and one metadata mutex
+	"sync/atomic" //magevet:ok lock-free fault/eviction balance counters read by monitoring
+	"time"
+
+	"mage/internal/memnode"
+	"mage/internal/prefetch"
+	"mage/internal/stats"
+)
+
+// Backing is the far-memory store a pager swaps against. Both
+// memnode.Client and memcluster.Cluster satisfy it.
+type Backing interface {
+	Register(size int64) (uint64, error)
+	Read(handle uint64, offset, length int64) ([]byte, error)
+	Write(handle uint64, offset int64, data []byte) error
+	ReadV(handle uint64, offsets []int64, pageBytes int64) ([][]byte, error)
+	WriteV(handle uint64, offsets []int64, pages [][]byte) error
+}
+
+// AsyncBacking is a Backing that can issue one-sided reads returning a
+// future, letting the demand read overlap frame reclaim.
+// memnode.Client satisfies it; the pager falls back to the synchronous
+// Read when the backing does not.
+type AsyncBacking interface {
+	Backing
+	ReadAsync(handle uint64, offset, length int64) *memnode.Pending
+}
+
+// ErrClosed is returned by Pin after Close.
+var ErrClosed = errors.New("upager: pager closed")
+
+// Page lifecycle. Transitions happen under Pager.mu; the latch channel
+// is non-nil exactly while the page is in a transient state
+// (faulting/evicting) and is closed when the transition completes, so
+// concurrent pinners wait without spinning.
+const (
+	pageAbsent   = iota // only in far memory
+	pageFaulting        // one fault in flight; pinners wait on latch
+	pageResident        // in a local frame
+	pageEvicting        // write-behind in flight; pinners wait on latch
+)
+
+const noPage = ^uint64(0)
+
+type page struct {
+	state      int8
+	dirty      bool
+	ref        bool // CLOCK second-chance bit
+	prefetched bool // resident via prefetch, not yet touched
+	pins       int32
+	frame      int32
+	latch      chan struct{}
+}
+
+// Options sizes a Pager. The zero value of every field selects a
+// default.
+type Options struct {
+	// PageBytes is the page size (default 4096).
+	PageBytes int64
+	// EvictBatch caps dirty pages per write-behind WRITEV (default 32,
+	// capped at memnode.MaxBatchPages).
+	EvictBatch int
+	// LowWater is the free-frame target: the evictor runs until at
+	// least this many frames are free (default max(EvictBatch,
+	// frames/8), at least 1).
+	LowWater int
+	// Detector proposes prefetch pages from the fault stream. Default
+	// is a Leap-style majority-stride detector; NoPrefetch disables.
+	Detector   prefetch.Detector
+	NoPrefetch bool
+}
+
+// Pager pages a numPages*PageBytes region through a frames-sized local
+// arena.
+type Pager struct {
+	backing   Backing
+	async     AsyncBacking // nil when backing has no futures API
+	handle    uint64
+	pageBytes int64
+	numPages  uint64
+	frames    int
+	batch     int
+	lowWater  int
+
+	arena []byte
+
+	mu     sync.Mutex // guards pages, owner, hand, closed
+	pages  []page
+	owner  []uint64 // frame -> resident page, noPage when free or in transit
+	hand   int      // CLOCK hand over frames
+	closed bool
+
+	freeC chan int32    // free frame pool (buffered to frames: sends never block)
+	kickC chan struct{} // nudges the evictor (buffered 1)
+	stopC chan struct{}
+	doneC chan struct{} // evictor exited
+
+	detMu sync.Mutex // the detector sees the global fault stream
+	det   prefetch.Detector
+
+	prefetchWG sync.WaitGroup
+
+	// Fault/eviction balance counters (the paper's steering signals).
+	faults          atomic.Uint64
+	hits            atomic.Uint64
+	coalesced       atomic.Uint64
+	prefetchIssued  atomic.Uint64
+	prefetchHits    atomic.Uint64
+	prefetchDropped atomic.Uint64
+	evictions       atomic.Uint64
+	cleanDrops      atomic.Uint64
+	wbBatches       atomic.Uint64
+	wbPages         atomic.Uint64
+	wbErrors        atomic.Uint64
+
+	faultLat *stats.ConcurrentHistogram
+}
+
+// New registers a numPages-page region on backing and returns a pager
+// holding frames local frames over it. frames bounds local memory: the
+// remote:local ratio of an experiment is numPages/frames.
+func New(backing Backing, numPages uint64, frames int, opts Options) (*Pager, error) {
+	if numPages == 0 {
+		return nil, errors.New("upager: zero-page region")
+	}
+	if frames <= 0 {
+		return nil, errors.New("upager: need at least one local frame")
+	}
+	pb := opts.PageBytes
+	if pb <= 0 {
+		pb = 4096
+	}
+	// The evictor must never be asked to reclaim most of the arena:
+	// batch and low-water both cap at half the frames so a fresh fault
+	// cannot be evicted just to satisfy the free-pool target.
+	half := frames / 2
+	if half < 1 {
+		half = 1
+	}
+	batch := opts.EvictBatch
+	if batch <= 0 {
+		batch = 32
+	}
+	if batch > memnode.MaxBatchPages {
+		batch = memnode.MaxBatchPages
+	}
+	if batch > half {
+		batch = half
+	}
+	low := opts.LowWater
+	if low <= 0 {
+		low = frames / 8
+		if low > batch {
+			low = batch
+		}
+	}
+	if low > half {
+		low = half
+	}
+	if low < 1 {
+		low = 1
+	}
+	handle, err := backing.Register(int64(numPages) * pb)
+	if err != nil {
+		return nil, fmt.Errorf("upager: register backing region: %w", err)
+	}
+	p := &Pager{
+		backing:   backing,
+		handle:    handle,
+		pageBytes: pb,
+		numPages:  numPages,
+		frames:    frames,
+		batch:     batch,
+		lowWater:  low,
+		arena:     make([]byte, int64(frames)*pb),
+		pages:     make([]page, numPages),
+		owner:     make([]uint64, frames),
+		freeC:     make(chan int32, frames),
+		kickC:     make(chan struct{}, 1),
+		stopC:     make(chan struct{}),
+		doneC:     make(chan struct{}),
+		faultLat:  stats.NewConcurrentHistogram(),
+	}
+	p.async, _ = backing.(AsyncBacking)
+	for f := 0; f < frames; f++ {
+		p.owner[f] = noPage
+		p.freeC <- int32(f)
+	}
+	if !opts.NoPrefetch {
+		p.det = opts.Detector
+		if p.det == nil {
+			p.det = prefetch.NewMajority(8, 8, numPages)
+		}
+	}
+	go p.evictLoop() //magevet:ok real-host pager: the dedicated write-behind evictor thread
+	return p, nil
+}
+
+// PageBytes returns the page size.
+func (p *Pager) PageBytes() int64 { return p.pageBytes }
+
+// NumPages returns the region size in pages.
+func (p *Pager) NumPages() uint64 { return p.numPages }
+
+// Frame is a pinned view of one resident page. Data aliases the arena;
+// it is valid until Unpin, after which the frame may be evicted and
+// reused. Write access requires having pinned with write=true, which
+// marks the page dirty for write-behind.
+type Frame struct {
+	Data []byte
+	p    *Pager
+	pg   uint64
+}
+
+// Unpin releases the pin. The Frame must not be used afterwards.
+func (f Frame) Unpin() {
+	p := f.p
+	p.mu.Lock()
+	pd := &p.pages[f.pg]
+	pd.pins--
+	idle := pd.pins == 0
+	p.mu.Unlock()
+	// A fault may be blocked on a free frame with every frame pinned;
+	// this unpin could be the one that makes a victim available.
+	if idle && len(p.freeC) < p.lowWater {
+		p.kick()
+	}
+}
+
+// Pin faults page pg into the local arena (if needed) and pins it. A
+// write pin marks the page dirty; its mutations are persisted by the
+// write-behind evictor or Flush. Concurrent Pins of one absent page
+// coalesce onto a single backing read.
+func (p *Pager) Pin(pg uint64, write bool) (Frame, error) {
+	if pg >= p.numPages {
+		return Frame{}, fmt.Errorf("upager: page %d out of range [0,%d)", pg, p.numPages)
+	}
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return Frame{}, ErrClosed
+		}
+		pd := &p.pages[pg]
+		switch pd.state {
+		case pageResident:
+			pd.ref = true
+			pd.pins++
+			if write {
+				pd.dirty = true
+			}
+			if pd.prefetched {
+				pd.prefetched = false
+				p.prefetchHits.Add(1)
+			}
+			frame := pd.frame
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return p.frameView(pg, frame), nil
+		case pageFaulting, pageEvicting:
+			latch := pd.latch
+			p.mu.Unlock()
+			p.coalesced.Add(1)
+			<-latch
+			// Retry: faulting pages land resident; evicted pages need a
+			// fresh fault.
+		case pageAbsent:
+			pd.state = pageFaulting
+			pd.latch = make(chan struct{})
+			p.mu.Unlock()
+			return p.faultIn(pg, write)
+		}
+	}
+}
+
+func (p *Pager) frameView(pg uint64, frame int32) Frame {
+	return Frame{Data: p.frameData(frame), p: p, pg: pg}
+}
+
+func (p *Pager) frameData(frame int32) []byte {
+	off := int64(frame) * p.pageBytes
+	return p.arena[off : off+p.pageBytes : off+p.pageBytes]
+}
+
+// faultIn runs the major-fault path for a page already claimed as
+// pageFaulting by the caller: issue the demand read, reclaim a frame
+// while it flies, install, then feed the prefetcher.
+func (p *Pager) faultIn(pg uint64, write bool) (Frame, error) {
+	start := time.Now() //magevet:ok real-host pager: fault service time is a reported metric
+	p.faults.Add(1)
+	off := int64(pg) * p.pageBytes
+
+	// Issue the read before blocking on a frame so the wire round-trip
+	// overlaps reclaim.
+	var pending *memnode.Pending
+	if p.async != nil {
+		pending = p.async.ReadAsync(p.handle, off, p.pageBytes)
+	}
+
+	frame, err := p.takeFrame()
+	if err != nil {
+		if pending != nil {
+			if body, werr := pending.Wait(); werr == nil {
+				memnode.PutBuf(body)
+			}
+		}
+		p.abortFault(pg)
+		return Frame{}, err
+	}
+
+	var body []byte
+	if pending != nil {
+		body, err = pending.Wait()
+	} else {
+		body, err = p.backing.Read(p.handle, off, p.pageBytes)
+	}
+	if err != nil {
+		p.freeC <- frame
+		p.abortFault(pg)
+		return Frame{}, fmt.Errorf("upager: fault-in page %d: %w", pg, err)
+	}
+	copy(p.frameData(frame), body)
+	memnode.PutBuf(body)
+
+	p.mu.Lock()
+	pd := &p.pages[pg]
+	pd.state = pageResident
+	pd.frame = frame
+	pd.dirty = write
+	pd.ref = true
+	pd.prefetched = false
+	pd.pins = 1
+	p.owner[frame] = pg
+	close(pd.latch)
+	pd.latch = nil
+	p.mu.Unlock()
+
+	p.faultLat.Record(time.Since(start).Nanoseconds()) //magevet:ok real-host pager: fault service time is a reported metric
+	p.maybePrefetch(pg)
+	return p.frameView(pg, frame), nil
+}
+
+// abortFault rolls a claimed page back to absent and releases waiters,
+// who will retry and surface their own error.
+func (p *Pager) abortFault(pg uint64) {
+	p.mu.Lock()
+	pd := &p.pages[pg]
+	pd.state = pageAbsent
+	close(pd.latch)
+	pd.latch = nil
+	p.mu.Unlock()
+}
+
+// takeFrame pops a free frame, kicking the evictor and blocking while
+// none are free. It fails only once the pager is closing.
+func (p *Pager) takeFrame() (int32, error) {
+	select {
+	case f := <-p.freeC:
+		p.maybeKick()
+		return f, nil
+	default:
+	}
+	p.kick()
+	select {
+	case f := <-p.freeC:
+		p.maybeKick()
+		return f, nil
+	case <-p.stopC:
+		return -1, ErrClosed
+	}
+}
+
+// tryTakeFrame is the non-blocking variant the prefetcher uses: under
+// frame pressure prefetch is dropped rather than queued.
+func (p *Pager) tryTakeFrame() (int32, bool) {
+	select {
+	case f := <-p.freeC:
+		p.maybeKick()
+		return f, true
+	default:
+		return -1, false
+	}
+}
+
+func (p *Pager) kick() {
+	select {
+	case p.kickC <- struct{}{}:
+	default:
+	}
+}
+
+func (p *Pager) maybeKick() {
+	if len(p.freeC) < p.lowWater {
+		p.kick()
+	}
+}
+
+// maybePrefetch feeds the fault address to the detector and issues
+// asynchronous fills for its proposals. Prefetch never blocks the
+// faulting caller: no free frame means the candidate is dropped.
+func (p *Pager) maybePrefetch(pg uint64) {
+	if p.det == nil {
+		return
+	}
+	p.detMu.Lock()
+	cands := p.det.OnFault(pg)
+	p.detMu.Unlock()
+	for _, c := range cands {
+		if c >= p.numPages {
+			continue
+		}
+		frame, ok := p.tryTakeFrame()
+		if !ok {
+			p.prefetchDropped.Add(1)
+			continue
+		}
+		p.mu.Lock()
+		pd := &p.pages[c]
+		if p.closed || pd.state != pageAbsent {
+			p.mu.Unlock()
+			p.freeC <- frame
+			continue
+		}
+		pd.state = pageFaulting
+		pd.latch = make(chan struct{})
+		// Add under mu so Close (which sets closed under mu before
+		// waiting) can never miss an in-flight fill.
+		p.prefetchWG.Add(1)
+		p.mu.Unlock()
+		p.prefetchIssued.Add(1)
+		go p.prefetchFill(c, frame) //magevet:ok real-host pager: prefetch fills overlap demand faults by design
+	}
+}
+
+// prefetchFill completes one prefetch: read, install unpinned with the
+// reference bit clear, so untouched prefetches are the first CLOCK
+// victims.
+func (p *Pager) prefetchFill(pg uint64, frame int32) {
+	defer p.prefetchWG.Done()
+	off := int64(pg) * p.pageBytes
+	body, err := p.backing.Read(p.handle, off, p.pageBytes)
+	if err != nil {
+		p.freeC <- frame
+		p.abortFault(pg)
+		return
+	}
+	copy(p.frameData(frame), body)
+	memnode.PutBuf(body)
+	p.mu.Lock()
+	pd := &p.pages[pg]
+	pd.state = pageResident
+	pd.frame = frame
+	pd.dirty = false
+	pd.ref = false
+	pd.prefetched = true
+	pd.pins = 0
+	p.owner[frame] = pg
+	close(pd.latch)
+	pd.latch = nil
+	p.mu.Unlock()
+}
+
+// evictLoop is the write-behind evictor: on every kick it reclaims
+// frames until the free pool is back above the low-water mark, batching
+// dirty victims into WRITEV frames.
+func (p *Pager) evictLoop() {
+	defer close(p.doneC)
+	for {
+		select {
+		case <-p.stopC:
+			return
+		case <-p.kickC:
+		}
+		for len(p.freeC) < p.lowWater {
+			progress, err := p.evictSome()
+			if err != nil || !progress {
+				// Writeback failure or nothing evictable (all pinned or
+				// in transit): wait for the next kick rather than spin.
+				break
+			}
+			select {
+			case <-p.stopC:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// evictSome runs one CLOCK sweep. Clean victims are freed on the spot;
+// dirty victims transition to pageEvicting (blocking new pinners, so
+// the in-flight WRITEV can safely alias the arena) and go out as one
+// batch. Returns whether the sweep made progress toward freeing frames.
+func (p *Pager) evictSome() (bool, error) {
+	var (
+		victims []uint64
+		offs    []int64
+		bufs    [][]byte
+	)
+	progress := false
+	p.mu.Lock()
+	// Two revolutions bound the sweep: the first may only clear
+	// reference bits, the second then finds victims.
+	for scanned := 0; scanned < 2*p.frames && len(victims) < p.batch; scanned++ {
+		f := p.hand
+		p.hand = (p.hand + 1) % p.frames
+		pg := p.owner[f]
+		if pg == noPage {
+			continue
+		}
+		pd := &p.pages[pg]
+		if pd.state != pageResident || pd.pins > 0 {
+			continue
+		}
+		if pd.ref {
+			pd.ref = false
+			progress = true
+			continue
+		}
+		if !pd.dirty {
+			pd.state = pageAbsent
+			pd.prefetched = false
+			p.owner[f] = noPage
+			p.freeC <- int32(f) //magevet:ok freeC is buffered to frames, so returning a frame can never block
+			p.cleanDrops.Add(1)
+			p.evictions.Add(1)
+			progress = true
+			continue
+		}
+		pd.state = pageEvicting
+		pd.latch = make(chan struct{})
+		victims = append(victims, pg)
+		offs = append(offs, int64(pg)*p.pageBytes)
+		bufs = append(bufs, p.frameData(int32(f)))
+	}
+	p.mu.Unlock()
+	if len(victims) == 0 {
+		return progress, nil
+	}
+
+	// The batch write runs with no lock held: pageEvicting keeps
+	// writers off these frames, and the arena bytes go out zero-copy.
+	err := p.backing.WriteV(p.handle, offs, bufs)
+
+	p.mu.Lock()
+	if err != nil {
+		// Put the victims back; they stay dirty and will be retried on
+		// a later sweep.
+		for _, pg := range victims {
+			pd := &p.pages[pg]
+			pd.state = pageResident
+			close(pd.latch)
+			pd.latch = nil
+		}
+		p.mu.Unlock()
+		p.wbErrors.Add(1)
+		return progress, fmt.Errorf("upager: write-behind batch: %w", err)
+	}
+	for _, pg := range victims {
+		pd := &p.pages[pg]
+		pd.state = pageAbsent
+		pd.dirty = false
+		pd.prefetched = false
+		p.owner[pd.frame] = noPage
+		p.freeC <- pd.frame
+		close(pd.latch)
+		pd.latch = nil
+	}
+	p.mu.Unlock()
+	n := uint64(len(victims))
+	p.evictions.Add(n)
+	p.wbBatches.Add(1)
+	p.wbPages.Add(n)
+	return true, nil
+}
+
+// Flush writes back every dirty unpinned page, leaving it resident and
+// clean. Pages pinned for write while Flush runs are picked up by a
+// later batch within the same call; pages still write-pinned when the
+// sweep completes are reported as an error (the caller owns quiescing
+// writers before a checkpoint).
+func (p *Pager) Flush() error {
+	for {
+		var (
+			victims []uint64
+			offs    []int64
+			bufs    [][]byte
+		)
+		pinnedDirty := 0
+		p.mu.Lock()
+		for pg := range p.pages {
+			pd := &p.pages[pg]
+			if pd.state != pageResident || !pd.dirty {
+				continue
+			}
+			if pd.pins > 0 {
+				pinnedDirty++
+				continue
+			}
+			if len(victims) == p.batch {
+				continue
+			}
+			pd.state = pageEvicting // block writers while the batch is on the wire
+			pd.latch = make(chan struct{})
+			victims = append(victims, uint64(pg))
+			offs = append(offs, int64(pg)*p.pageBytes)
+			bufs = append(bufs, p.frameData(pd.frame))
+		}
+		p.mu.Unlock()
+		if len(victims) == 0 {
+			if pinnedDirty > 0 {
+				return fmt.Errorf("upager: flush left %d dirty pages pinned by writers", pinnedDirty)
+			}
+			return nil
+		}
+		err := p.backing.WriteV(p.handle, offs, bufs)
+		p.mu.Lock()
+		for _, pg := range victims {
+			pd := &p.pages[pg]
+			pd.state = pageResident
+			if err == nil {
+				pd.dirty = false
+			}
+			close(pd.latch)
+			pd.latch = nil
+		}
+		p.mu.Unlock()
+		if err != nil {
+			p.wbErrors.Add(1)
+			return fmt.Errorf("upager: flush batch: %w", err)
+		}
+		p.wbBatches.Add(1)
+		p.wbPages.Add(uint64(len(victims)))
+	}
+}
+
+// Close flushes dirty pages, stops the evictor, and marks the pager
+// unusable. In-flight prefetches are drained first. The backing store
+// is not closed; the caller owns it.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.prefetchWG.Wait()
+	err := p.Flush()
+	close(p.stopC)
+	<-p.doneC
+	return err
+}
+
+// Stats is a point-in-time snapshot of the pager's balance counters.
+type Stats struct {
+	// Faults counts major faults (backing reads on the demand path).
+	Faults uint64
+	// Hits counts pins served by an already-resident page.
+	Hits uint64
+	// Coalesced counts pins that waited on another pin's in-flight
+	// fault or on an eviction instead of issuing their own read.
+	Coalesced uint64
+	// PrefetchIssued/Hits/Dropped: prefetch fills started, prefetched
+	// pages later pinned before eviction, and candidates dropped for
+	// lack of a free frame.
+	PrefetchIssued  uint64
+	PrefetchHits    uint64
+	PrefetchDropped uint64
+	// Evictions counts frames reclaimed (clean drops + written back).
+	Evictions uint64
+	// CleanDrops counts evictions that needed no writeback.
+	CleanDrops uint64
+	// WritebackBatches/Pages count write-behind WRITEV frames and the
+	// pages they carried; Pages/Batches is the achieved batching factor.
+	WritebackBatches uint64
+	WritebackPages   uint64
+	WritebackErrors  uint64
+	// FreeFrames is the current free pool depth.
+	FreeFrames int
+}
+
+// Stats returns the current counter snapshot.
+func (p *Pager) Stats() Stats {
+	return Stats{
+		Faults:           p.faults.Load(),
+		Hits:             p.hits.Load(),
+		Coalesced:        p.coalesced.Load(),
+		PrefetchIssued:   p.prefetchIssued.Load(),
+		PrefetchHits:     p.prefetchHits.Load(),
+		PrefetchDropped:  p.prefetchDropped.Load(),
+		Evictions:        p.evictions.Load(),
+		CleanDrops:       p.cleanDrops.Load(),
+		WritebackBatches: p.wbBatches.Load(),
+		WritebackPages:   p.wbPages.Load(),
+		WritebackErrors:  p.wbErrors.Load(),
+		FreeFrames:       len(p.freeC),
+	}
+}
+
+// FaultLatency returns a snapshot of the major-fault service-time
+// histogram.
+func (p *Pager) FaultLatency() *stats.Histogram { return p.faultLat.Snapshot() }
